@@ -1,0 +1,1 @@
+bench/harness_fixture.ml: Array Past_core Past_id Past_pastry Past_stdext Printf

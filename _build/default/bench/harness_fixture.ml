@@ -1,0 +1,126 @@
+(* Prebuilt fixtures and single-operation closures for the Bechamel
+   micro-benchmarks: all construction happens here, outside the timed
+   regions. *)
+
+module Id = Past_id.Id
+module Rng = Past_stdext.Rng
+module Config = Past_pastry.Config
+module Peer = Past_pastry.Peer
+module Leaf_set = Past_pastry.Leaf_set
+module Routing_table = Past_pastry.Routing_table
+module Overlay = Past_pastry.Overlay
+module PNode = Past_pastry.Node
+module System = Past_core.System
+module Client = Past_core.Client
+module Store = Past_core.Store
+module Cache = Past_core.Cache
+
+type probe = unit
+
+let rng = Rng.create 77
+
+(* --- leaf-set insertion ------------------------------------------------ *)
+
+let leaf_own = Id.random rng ~width:Id.node_bits
+let leaf_peers = Array.init 64 (fun i -> Peer.make ~id:(Id.random rng ~width:Id.node_bits) ~addr:i)
+let leaf_i = ref 0
+
+let leaf_insert_once () =
+  (* A fresh leaf set every 64 inserts keeps the structure in its
+     steady mixed state without unbounded growth. *)
+  let ls = Leaf_set.create ~config:Config.default ~own:leaf_own in
+  for j = 0 to 31 do
+    ignore (Leaf_set.add ls leaf_peers.((!leaf_i + j) mod 64))
+  done;
+  incr leaf_i
+
+(* --- routing-table consider -------------------------------------------- *)
+
+let rt = Routing_table.create ~config:Config.default ~own:(Id.random rng ~width:Id.node_bits)
+let rt_peers = Array.init 256 (fun i -> Peer.make ~id:(Id.random rng ~width:Id.node_bits) ~addr:i)
+let rt_i = ref 0
+
+let rt_consider_once () =
+  ignore (Routing_table.consider rt ~proximity:(fun a -> float_of_int (a land 0xff)) rt_peers.(!rt_i land 255));
+  incr rt_i
+
+(* --- store admission ---------------------------------------------------- *)
+
+let store = Store.create ~capacity:1_000_000 ()
+let store_admit_once () = ignore (Store.admits store ~size:10_000 ~kind:`Primary)
+
+(* --- cache cycle --------------------------------------------------------- *)
+
+let cache = Cache.create Cache.Gds
+
+let cache_certs =
+  let broker = Past_core.Broker.create ~mode:`Insecure (Rng.create 3) in
+  let card =
+    match Past_core.Broker.issue_card broker ~quota:max_int ~contributed:0 with
+    | Ok c -> c
+    | Error _ -> assert false
+  in
+  Array.init 128 (fun i ->
+      match
+        Past_core.Smartcard.issue_file_certificate card ~name:(string_of_int i) ~data:""
+          ~declared_size:1_000 ~replication:1 ~now:0.0 ()
+      with
+      | Ok c -> c
+      | Error _ -> assert false)
+
+let () = Cache.set_budget cache 50_000
+let cache_i = ref 0
+
+let cache_cycle_once () =
+  let cert = cache_certs.(!cache_i land 127) in
+  ignore (Cache.offer cache ~cert ~data:"");
+  ignore (Cache.find cache cert.Past_core.Certificate.file_id);
+  incr cache_i
+
+(* --- one routed lookup on a prebuilt overlay ---------------------------- *)
+
+let overlay n : probe Overlay.t =
+  let ov = Overlay.create ~seed:42 () in
+  Overlay.build_static ov ~n;
+  Overlay.install_apps ov (fun _ ->
+      {
+        PNode.deliver = (fun ~key:_ _ _ -> ());
+        forward = (fun ~key:_ _ _ -> `Continue);
+        on_direct = (fun ~from:_ _ -> ());
+        on_leaf_change = (fun () -> ());
+      });
+  ov
+
+let route_once ov =
+  let key = Id.random (Overlay.rng ov) ~width:Id.node_bits in
+  PNode.route (Overlay.random_node ov) ~key ();
+  Overlay.run ov
+
+(* --- one full PAST insert on a prebuilt system -------------------------- *)
+
+type sys_fixture = { sys : System.t; client : Client.t; mutable n : int }
+
+let system n =
+  let node_config =
+    {
+      Past_core.Node.default_config with
+      Past_core.Node.verify_certificates = false;
+      cache_policy = Cache.No_cache;
+      cache_on_insert_path = false;
+      cache_on_lookup_path = false;
+    }
+  in
+  let sys =
+    System.create ~node_config ~build:`Static ~seed:43 ~n
+      ~node_capacity:(fun _ _ -> max_int / 4)
+      ()
+  in
+  let client = System.new_client sys ~verify:false ~quota:max_int () in
+  { sys; client; n = 0 }
+
+let insert_once fx =
+  fx.n <- fx.n + 1;
+  ignore
+    (Client.insert_sync fx.client
+       ~name:(Printf.sprintf "bench-%d" fx.n)
+       ~data:"" ~declared_size:1_000 ~k:3 ())

@@ -1,0 +1,100 @@
+(* Benchmark harness.
+
+   Part 1: Bechamel micro-benchmarks of the primitives each reproduced
+   table rests on — hashing and signatures (the certificate machinery
+   behind EXP9/EXP13), id arithmetic and table maintenance (EXP1–EXP8
+   routing), storage admission (EXP9) and cache decisions (EXP11) —
+   plus whole-operation benches: one routed lookup and one full PAST
+   insert.
+
+   Part 2: regeneration of every table the paper's claims map to
+   (EXP1–EXP13; see DESIGN.md section 5 and EXPERIMENTS.md). Scale with
+   PAST_SCALE (default 1.0; the tables in EXPERIMENTS.md use 1.0).
+   Pass --micro-only or --tables-only to run one part. *)
+
+open Bechamel
+open Toolkit
+module Id = Past_id.Id
+module Rng = Past_stdext.Rng
+module Sha1 = Past_crypto.Sha1
+module Sha256 = Past_crypto.Sha256
+module Rsa = Past_crypto.Rsa
+module Nat = Past_bignum.Nat
+
+(* --- prebuilt fixtures (outside the timed sections) ------------------- *)
+
+let rng = Rng.create 20260705
+let payload_4k = String.init 4096 (fun i -> Char.chr (i mod 256))
+let rsa_keypair = Rsa.generate rng ~bits:512
+let rsa_signature = Rsa.sign rsa_keypair (Bytes.of_string payload_4k)
+let nat_base = Rng.bits64 rng |> Int64.to_int |> abs |> Nat.of_int
+let nat_exp = Nat.random_bits rng 512
+let nat_mod = Nat.add (Nat.random_bits rng 512) Nat.one
+let id_target = Id.random rng ~width:Id.node_bits
+let id_x = Id.random rng ~width:Id.node_bits
+let id_y = Id.random rng ~width:Id.node_bits
+let overlay = Harness_fixture.overlay 2000
+let past_system = Harness_fixture.system 100
+
+let micro_tests =
+  Test.make_grouped ~name:"past"
+    [
+      Test.make ~name:"sha1 (4 KiB)" (Staged.stage (fun () -> Sha1.digest_string payload_4k));
+      Test.make ~name:"sha256 (4 KiB)" (Staged.stage (fun () -> Sha256.digest_string payload_4k));
+      Test.make ~name:"rsa-512 sign"
+        (Staged.stage (fun () -> Rsa.sign rsa_keypair (Bytes.of_string "msg")));
+      Test.make ~name:"rsa-512 verify"
+        (Staged.stage (fun () ->
+             Rsa.verify rsa_keypair.Rsa.pub (Bytes.of_string payload_4k) rsa_signature));
+      Test.make ~name:"nat modpow 512b"
+        (Staged.stage (fun () -> Nat.mod_pow nat_base nat_exp nat_mod));
+      Test.make ~name:"id closer (fast path)"
+        (Staged.stage (fun () -> Id.closer ~target:id_target id_x id_y));
+      Test.make ~name:"id shared-prefix"
+        (Staged.stage (fun () -> Id.shared_prefix_digits ~b:4 id_x id_y));
+      Test.make ~name:"leaf-set insert x32" (Staged.stage Harness_fixture.leaf_insert_once);
+      Test.make ~name:"routing-table consider" (Staged.stage Harness_fixture.rt_consider_once);
+      Test.make ~name:"store admission check" (Staged.stage Harness_fixture.store_admit_once);
+      Test.make ~name:"cache offer+find (GD-S)" (Staged.stage Harness_fixture.cache_cycle_once);
+      Test.make ~name:"route 1 lookup (N=2000)"
+        (Staged.stage (fun () -> Harness_fixture.route_once overlay));
+      Test.make ~name:"full PAST insert (N=100, k=3)"
+        (Staged.stage (fun () -> Harness_fixture.insert_once past_system));
+    ]
+
+let run_micro () =
+  print_endline "== micro-benchmarks (Bechamel, monotonic clock) ==";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg instances micro_tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let table = Past_stdext.Text_table.create [ "benchmark"; "time/op"; "r^2" ] in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      let ns =
+        match Analyze.OLS.estimates ols with Some (t :: _) -> t | Some [] | None -> nan
+      in
+      let pretty =
+        if Float.is_nan ns then "n/a"
+        else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+        else Printf.sprintf "%.0f ns" ns
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols with Some r -> Printf.sprintf "%.3f" r | None -> "-"
+      in
+      Past_stdext.Text_table.add_row table [ name; pretty; r2 ])
+    (List.sort compare rows);
+  Past_stdext.Text_table.print table
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let micro_only = List.mem "--micro-only" args in
+  let tables_only = List.mem "--tables-only" args in
+  if not tables_only then run_micro ();
+  if not micro_only then begin
+    print_endline "\n== reproduced tables (one per paper claim; see EXPERIMENTS.md) ==";
+    Past_experiments.Report.run_all ()
+  end

@@ -1,0 +1,53 @@
+(* Command-line driver for the PAST reproduction experiments.
+
+   `past_sim all` regenerates every table; `past_sim <name>` runs one
+   experiment. `--scale` trades sampling effort for time (it sets
+   PAST_SCALE for the experiment runners; structural parameters are
+   never scaled). *)
+
+open Cmdliner
+
+let experiment_names = List.map fst Past_experiments.Report.all
+
+let scale_arg =
+  let doc =
+    "Sampling-effort multiplier (lookup counts, trials). 0.2 is a quick smoke pass, 1.0 the \
+     EXPERIMENTS.md numbers."
+  in
+  Arg.(value & opt (some float) None & info [ "s"; "scale" ] ~docv:"FACTOR" ~doc)
+
+let apply_scale scale =
+  match scale with
+  | Some f when f > 0.0 -> Unix.putenv "PAST_SCALE" (string_of_float f)
+  | Some _ -> prerr_endline "ignoring non-positive --scale"
+  | None -> ()
+
+let run_cmd name print =
+  let doc = Printf.sprintf "Run the %s experiment and print its table(s)." name in
+  let f scale =
+    apply_scale scale;
+    print ()
+  in
+  Cmd.v (Cmd.info name ~doc) Term.(const f $ scale_arg)
+
+let all_cmd =
+  let doc = "Run every experiment (regenerates all tables)." in
+  let f scale =
+    apply_scale scale;
+    Past_experiments.Report.run_all ()
+  in
+  Cmd.v (Cmd.info "all" ~doc) Term.(const f $ scale_arg)
+
+let list_cmd =
+  let doc = "List available experiments." in
+  let f () = List.iter print_endline experiment_names in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const f $ const ())
+
+let () =
+  let doc = "PAST reproduction: run the paper's experiments on the simulator" in
+  let info = Cmd.info "past_sim" ~version:"1.0.0" ~doc in
+  let subcommands =
+    all_cmd :: list_cmd
+    :: List.map (fun (name, print) -> run_cmd name print) Past_experiments.Report.all
+  in
+  exit (Cmd.eval (Cmd.group info subcommands))

@@ -1,0 +1,1 @@
+examples/archival_backup.ml: Array Char List Past_core Past_id Past_simnet Past_stdext Printf String

@@ -1,0 +1,1 @@
+examples/archival_backup.mli:

@@ -1,0 +1,1 @@
+examples/churn_resilience.ml: Array Char List Past_core Past_id Past_pastry Past_simnet Past_stdext Printf String

@@ -1,0 +1,1 @@
+examples/content_distribution.ml: Array Char Past_core Past_id Past_stdext Past_workload Printf String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Past_core Past_id Printf String

@@ -1,0 +1,1 @@
+lib/bignum/nat.ml: Array Buffer Bytes Char Format List Past_stdext Stdlib String

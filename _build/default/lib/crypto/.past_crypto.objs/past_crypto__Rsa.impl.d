@@ -1,0 +1,1 @@
+lib/crypto/rsa.ml: Bytes Past_bignum Past_stdext Printf Sha256

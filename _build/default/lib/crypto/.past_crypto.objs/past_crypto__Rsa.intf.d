@@ -1,0 +1,1 @@
+lib/crypto/rsa.mli: Past_bignum Past_stdext

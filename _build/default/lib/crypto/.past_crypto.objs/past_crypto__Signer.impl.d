@@ -1,0 +1,1 @@
+lib/crypto/signer.ml: Bytes Format Past_stdext Printf Rsa Sha256 String

@@ -1,0 +1,1 @@
+lib/crypto/signer.mli: Format Past_stdext

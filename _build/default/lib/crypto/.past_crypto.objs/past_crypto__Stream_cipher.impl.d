@@ -1,0 +1,1 @@
+lib/crypto/stream_cipher.ml: Bytes Char Printf Sha256 String

@@ -1,0 +1,35 @@
+module Rng = Past_stdext.Rng
+
+type keypair = Rsa_key of Rsa.keypair | Insecure_key of { nonce : string }
+type public = Rsa_pub of Rsa.public | Insecure_pub of { nonce : string }
+
+let generate rng ~mode =
+  match mode with
+  | `Rsa bits -> Rsa_key (Rsa.generate rng ~bits)
+  | `Insecure ->
+    let nonce = Sha256.hex_of_digest (Bytes.to_string (Rng.bytes rng 16) |> Sha256.digest_string) in
+    Insecure_key { nonce }
+
+let public = function
+  | Rsa_key kp -> Rsa_pub kp.Rsa.pub
+  | Insecure_key { nonce } -> Insecure_pub { nonce }
+
+let public_to_string = function
+  | Rsa_pub pub -> Rsa.public_to_string pub
+  | Insecure_pub { nonce } -> Printf.sprintf "insecure:%s" nonce
+
+let sign kp msg =
+  match kp with
+  | Rsa_key kp -> Rsa.sign kp msg
+  | Insecure_key { nonce } ->
+    Sha256.digest_string (Printf.sprintf "tag:%s:%s" nonce (Bytes.to_string msg))
+
+let verify pub msg signature =
+  match pub with
+  | Rsa_pub pub -> Rsa.verify pub msg signature
+  | Insecure_pub { nonce } ->
+    Bytes.equal signature
+      (Sha256.digest_string (Printf.sprintf "tag:%s:%s" nonce (Bytes.to_string msg)))
+
+let equal_public a b = String.equal (public_to_string a) (public_to_string b)
+let pp_public fmt p = Format.pp_print_string fmt (public_to_string p)

@@ -1,0 +1,1 @@
+lib/experiments/exp_ablation.ml: Array Exp_storage Float Harness List Past_id Past_pastry Past_stdext Stdlib

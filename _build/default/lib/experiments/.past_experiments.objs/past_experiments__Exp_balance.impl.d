@@ -1,0 +1,1 @@
+lib/experiments/exp_balance.ml: Array List Past_core Past_id Past_pastry Past_simnet Past_stdext Printf

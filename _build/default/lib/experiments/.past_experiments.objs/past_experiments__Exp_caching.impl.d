@@ -1,0 +1,1 @@
+lib/experiments/exp_caching.ml: Array List Past_core Past_id Past_stdext Past_workload Printf Stdlib

@@ -1,0 +1,1 @@
+lib/experiments/exp_failures.ml: Harness List Past_id Past_pastry Past_stdext Printf

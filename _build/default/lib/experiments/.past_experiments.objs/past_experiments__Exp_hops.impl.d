@@ -1,0 +1,1 @@
+lib/experiments/exp_hops.ml: Float Harness Hashtbl List Option Past_pastry Past_stdext

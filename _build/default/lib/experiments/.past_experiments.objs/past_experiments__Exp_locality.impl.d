@@ -1,0 +1,1 @@
+lib/experiments/exp_locality.ml: Harness List Past_pastry Past_simnet Past_stdext

@@ -1,0 +1,1 @@
+lib/experiments/exp_maintenance.ml: Array Harness List Past_pastry Past_simnet Past_stdext

@@ -1,0 +1,1 @@
+lib/experiments/exp_malicious.ml: Array Harness List Past_id Past_pastry Past_stdext Printf

@@ -1,0 +1,1 @@
+lib/experiments/exp_quota.ml: Array List Past_core Past_id Past_stdext Printf String

@@ -1,0 +1,1 @@
+lib/experiments/exp_replica.ml: Array Harness Hashtbl List Past_id Past_pastry Past_simnet Past_stdext Stdlib

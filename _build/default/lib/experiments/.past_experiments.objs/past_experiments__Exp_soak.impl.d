@@ -1,0 +1,1 @@
+lib/experiments/exp_soak.ml: Array Float List Past_core Past_id Past_pastry Past_simnet Past_stdext Past_workload Stdlib

@@ -1,0 +1,1 @@
+lib/experiments/exp_state.ml: Array Float Harness List Past_pastry Past_stdext

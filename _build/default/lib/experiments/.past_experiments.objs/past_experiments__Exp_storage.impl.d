@@ -1,0 +1,1 @@
+lib/experiments/exp_storage.ml: Array List Past_core Past_stdext Past_workload Printf Stdlib

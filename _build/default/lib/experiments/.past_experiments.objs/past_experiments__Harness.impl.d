@@ -1,0 +1,1 @@
+lib/experiments/harness.ml: Past_id Past_pastry Past_simnet Past_stdext

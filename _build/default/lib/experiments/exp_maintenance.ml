@@ -1,0 +1,106 @@
+(* EXP7 — cost of node arrival and failure repair (paper claim C5).
+
+   "after a node failure or the arrival of a new node, the invariants
+   in all affected routing tables can be restored by exchanging
+   O(log_2^b N) messages" — §2.2
+
+   We grow overlays dynamically and count the protocol messages each
+   join exchanges; then we fail a node, run the keep-alive/repair
+   machinery, and count repair messages. *)
+
+module Overlay = Past_pastry.Overlay
+module Node = Past_pastry.Node
+module Net = Past_simnet.Net
+module Config = Past_pastry.Config
+module Stats = Past_stdext.Stats
+module Text_table = Past_stdext.Text_table
+
+type params = { ns : int list; join_samples : int; fail_samples : int; seed : int }
+
+let default_params = { ns = [ 50; 100; 200; 400 ]; join_samples = 20; fail_samples = 5; seed = 23 }
+
+type row = {
+  n : int;
+  avg_join_msgs : float;
+  avg_repair_msgs : float;
+  log_bound : float;  (** log_2^b N *)
+}
+
+type result = { rows : row list }
+
+let count_ctl overlay =
+  Array.fold_left (fun acc node -> acc + Node.control_messages node) 0 (Overlay.nodes overlay)
+
+let run params =
+  let config = Config.default in
+  let rows =
+    List.map
+      (fun n ->
+        let overlay : Harness.probe Overlay.t =
+          Overlay.create ~config ~seed:(params.seed + n) ()
+        in
+        Overlay.build_dynamic overlay ~n;
+        Overlay.install_apps overlay (fun _ -> Harness.null_app);
+        (* Join cost: add join_samples more nodes, counting control
+           messages around each join. *)
+        let join_stats = Stats.create () in
+        for _ = 1 to params.join_samples do
+          let before = count_ctl overlay in
+          Overlay.build_dynamic overlay ~n:1;
+          Overlay.install_apps overlay (fun _ -> Harness.null_app);
+          Stats.add_int join_stats (count_ctl overlay - before)
+        done;
+        (* Failure repair cost: arm maintenance, fail one node, and
+           count the repair-specific messages (leaf-set state exchanges
+           and the keep-alives burned on the dead node) over two
+           detection windows. Periodic keep-alives among live nodes are
+           steady-state background, not repair cost, and are excluded
+           by construction. *)
+        let repair_stats = Stats.create () in
+        let keepalive = config.Config.keepalive_period in
+        let window = (2.0 *. config.Config.failure_timeout) +. (2.0 *. keepalive) in
+        let net = Overlay.net overlay in
+        for _ = 1 to params.fail_samples do
+          Overlay.start_maintenance overlay;
+          (* Let ticks reach steady state before injecting the fault. *)
+          Overlay.run ~until:(Net.now net +. window) overlay;
+          let victim = Overlay.random_live_node overlay in
+          let victim_addr = Node.addr victim in
+          let repair = ref 0 in
+          Net.set_send_tap net (fun ~src:_ ~dst msg ->
+              match msg with
+              | Past_pastry.Message.Leaf_request _ | Past_pastry.Message.Leaf_reply _ ->
+                incr repair
+              | Past_pastry.Message.Keepalive _ when dst = victim_addr -> incr repair
+              | _ -> ());
+          Overlay.kill overlay victim;
+          Overlay.run ~until:(Net.now net +. window) overlay;
+          Net.clear_send_tap net;
+          Overlay.stop_maintenance overlay;
+          Overlay.run ~until:(Net.now net +. window) overlay;
+          Stats.add_int repair_stats !repair
+        done;
+        {
+          n;
+          avg_join_msgs = Stats.mean join_stats;
+          avg_repair_msgs = Stats.mean repair_stats;
+          log_bound = Harness.log2b n config.Config.b;
+        })
+      params.ns
+  in
+  { rows }
+
+let table { rows } =
+  let t =
+    Text_table.create [ "N"; "avg msgs per join"; "avg extra msgs per failure"; "log_2^b N" ]
+  in
+  List.iter
+    (fun r ->
+      Text_table.add_rowf t "%d|%.1f|%.1f|%.2f" r.n r.avg_join_msgs r.avg_repair_msgs r.log_bound)
+    rows;
+  t
+
+let print () =
+  Text_table.print
+    ~title:"EXP7: join and failure-repair message cost (paper: O(log_2^b N))"
+    (table (run default_params))

@@ -1,0 +1,69 @@
+(* Shared instrumentation for the Pastry-level experiments: install a
+   measuring app on every node, fire random lookups, and collect route
+   statistics. *)
+
+module Id = Past_id.Id
+module Net = Past_simnet.Net
+module Overlay = Past_pastry.Overlay
+module Node = Past_pastry.Node
+module Stats = Past_stdext.Stats
+module Rng = Past_stdext.Rng
+
+type probe = unit
+
+type route_stats = {
+  sent : int;
+  delivered : int;
+  misdelivered : int;  (** delivered, but not at the closest live node *)
+  hops : Stats.t;
+  dist : Stats.t;
+}
+
+let null_app =
+  {
+    Node.deliver = (fun ~key:_ _ _ -> ());
+    forward = (fun ~key:_ _ _ -> `Continue);
+    on_direct = (fun ~from:_ _ -> ());
+    on_leaf_change = (fun () -> ());
+  }
+
+(* Install a delivery recorder on all nodes. Returns the mutable stats
+   record updated as messages arrive. *)
+let install_recorder (overlay : probe Overlay.t) =
+  let stats =
+    { sent = 0; delivered = 0; misdelivered = 0; hops = Stats.create (); dist = Stats.create () }
+  in
+  let stats = ref stats in
+  Overlay.install_apps overlay (fun node ->
+      {
+        null_app with
+        Node.deliver =
+          (fun ~key _ info ->
+            let s = !stats in
+            let correct =
+              Node.addr (Overlay.closest_live_node overlay key) = Node.addr node
+            in
+            Stats.add_int s.hops info.Node.hops;
+            Stats.add s.dist info.Node.dist;
+            stats :=
+              {
+                s with
+                delivered = s.delivered + 1;
+                misdelivered = (s.misdelivered + if correct then 0 else 1);
+              });
+      });
+  stats
+
+let random_lookups (overlay : probe Overlay.t) ~lookups =
+  let stats = install_recorder overlay in
+  let rng = Overlay.rng overlay in
+  for _ = 1 to lookups do
+    let key = Id.random rng ~width:Id.node_bits in
+    let src = Overlay.random_live_node overlay in
+    Node.route src ~key ();
+    stats := { !stats with sent = !stats.sent + 1 }
+  done;
+  Overlay.run overlay;
+  !stats
+
+let log2b n b = log (float_of_int n) /. log (float_of_int (1 lsl b))

@@ -1,0 +1,128 @@
+(* Run every experiment and print the paper-shaped tables — the entry
+   point used by bench/main.exe and by `past_sim all`.
+
+   PAST_SCALE (default 1.0) multiplies the sampling effort (lookup
+   counts, trials) of each experiment: 0.2 gives a fast smoke pass,
+   1.0 the EXPERIMENTS.md numbers. Structural parameters (network
+   sizes, k, thresholds) are never scaled — they define the experiment. *)
+
+let scale () =
+  match Sys.getenv_opt "PAST_SCALE" with
+  | Some s -> ( match float_of_string_opt s with Some f when f > 0.0 -> f | _ -> 1.0)
+  | None -> 1.0
+
+let s_int ?(min_value = 10) base =
+  Stdlib.max min_value (int_of_float (float_of_int base *. scale ()))
+
+let print_hops () =
+  let p = Exp_hops.default_params in
+  Past_stdext.Text_table.print
+    ~title:"EXP1: average route length vs network size (paper: < ceil(log16 N))"
+    (Exp_hops.table (Exp_hops.run { p with Exp_hops.lookups = s_int p.Exp_hops.lookups }));
+  let d = Exp_hops.default_dist_params in
+  Past_stdext.Text_table.print ~title:"EXP2: hop-count distribution"
+    (Exp_hops.dist_table
+       (Exp_hops.run_distribution { d with Exp_hops.dlookups = s_int d.Exp_hops.dlookups }))
+
+let print_state () = Exp_state.print ()
+
+let print_locality () =
+  let p = Exp_locality.default_params in
+  Past_stdext.Text_table.print
+    ~title:"EXP4: locality — route distance vs direct distance (paper: ~1.5x with locality)"
+    (Exp_locality.table
+       (Exp_locality.run { p with Exp_locality.lookups = s_int p.Exp_locality.lookups }))
+
+let print_replica () =
+  let p = Exp_replica.default_params in
+  Past_stdext.Text_table.print ~title:"EXP5: which of the k=5 replicas serves a lookup"
+    (Exp_replica.table
+       (Exp_replica.run { p with Exp_replica.lookups = s_int p.Exp_replica.lookups }))
+
+let print_failures () =
+  let p = Exp_failures.default_params in
+  let r =
+    Exp_failures.run
+      {
+        p with
+        Exp_failures.trials = s_int ~min_value:2 p.Exp_failures.trials;
+        lookups_per_trial = s_int p.Exp_failures.lookups_per_trial;
+      }
+  in
+  Past_stdext.Text_table.print
+    ~title:
+      (Printf.sprintf
+         "EXP6: delivery under m simultaneous adjacent failures (l=%d, guarantee holds for m < %d)"
+         p.Exp_failures.leaf_set_size r.Exp_failures.half)
+    (Exp_failures.table r)
+
+let print_maintenance () =
+  let p = Exp_maintenance.default_params in
+  Past_stdext.Text_table.print
+    ~title:"EXP7: join and failure-repair message cost (paper: O(log_2^b N))"
+    (Exp_maintenance.table
+       (Exp_maintenance.run
+          {
+            p with
+            Exp_maintenance.join_samples = s_int ~min_value:5 p.Exp_maintenance.join_samples;
+            fail_samples = s_int ~min_value:2 p.Exp_maintenance.fail_samples;
+          }))
+
+let print_malicious () =
+  let p = Exp_malicious.default_params in
+  Past_stdext.Text_table.print
+    ~title:"EXP8: routing around malicious droppers (randomized + retries vs deterministic)"
+    (Exp_malicious.table
+       (Exp_malicious.run { p with Exp_malicious.lookups = s_int p.Exp_malicious.lookups }))
+
+let print_storage () = Exp_storage.print ()
+
+let print_caching () =
+  let p = Exp_caching.default_params in
+  Past_stdext.Text_table.print
+    ~title:"EXP11: caching popular files (paper: caching cuts fetch distance, balances query load)"
+    (Exp_caching.table
+       (Exp_caching.run { p with Exp_caching.lookups = s_int p.Exp_caching.lookups }))
+
+let print_balance () =
+  let p = Exp_balance.default_params in
+  Past_stdext.Text_table.print ~title:"EXP12: per-node file balance and replica diversity"
+    (Exp_balance.table
+       (Exp_balance.run
+          { p with Exp_balance.diversity_samples = s_int p.Exp_balance.diversity_samples }))
+
+let print_quota () = Exp_quota.print ()
+
+let all : (string * (unit -> unit)) list =
+  [
+    ("hops", print_hops);
+    ("state", print_state);
+    ("locality", print_locality);
+    ("replica", print_replica);
+    ("leaffail", print_failures);
+    ("maintenance", print_maintenance);
+    ("malicious", print_malicious);
+    ("storage", print_storage);
+    ("caching", print_caching);
+    ("balance", print_balance);
+    ("quota", print_quota);
+    ("ablation", Exp_ablation.print);
+    ("soak", Exp_soak.print);
+  ]
+
+let run_all () =
+  List.iter
+    (fun (name, print) ->
+      Printf.printf "\n[%s]\n%!" name;
+      let t0 = Sys.time () in
+      print ();
+      Printf.printf "(%s finished in %.1fs cpu)\n%!" name (Sys.time () -. t0))
+    all
+
+let run_named name =
+  match List.assoc_opt name all with
+  | Some print -> print ()
+  | None ->
+    Printf.eprintf "unknown experiment %S; available: %s\n" name
+      (String.concat ", " (List.map fst all));
+    exit 2

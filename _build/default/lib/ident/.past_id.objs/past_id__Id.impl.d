@@ -1,0 +1,1 @@
+lib/ident/id.ml: Buffer Bytes Char Format Hashtbl Map Past_bignum Past_crypto Past_stdext Printf Set Stdlib String

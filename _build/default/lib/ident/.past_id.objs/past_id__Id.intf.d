@@ -1,0 +1,1 @@
+lib/ident/id.mli: Format Hashtbl Map Past_bignum Past_crypto Past_stdext Set

@@ -1,0 +1,200 @@
+module Nat = Past_bignum.Nat
+module Rng = Past_stdext.Rng
+
+(* Immutable big-endian byte string. The width is implied by the
+   length; all binary operations check widths agree. *)
+type t = string
+
+let bits (t : t) = 8 * String.length t
+let node_bits = 128
+let file_bits = 160
+
+let check_width name w =
+  if w <= 0 || w mod 8 <> 0 then invalid_arg (name ^ ": width must be a positive multiple of 8")
+
+let of_bytes b : t = Bytes.to_string b
+let to_bytes (t : t) = Bytes.of_string t
+
+let zero ~width =
+  check_width "Id.zero" width;
+  String.make (width / 8) '\000'
+
+let max_id ~width =
+  check_width "Id.max_id" width;
+  String.make (width / 8) '\255'
+
+let of_hex ~width s =
+  check_width "Id.of_hex" width;
+  let n = Nat.of_hex s in
+  if Nat.num_bits n > width then invalid_arg "Id.of_hex: value exceeds width";
+  Bytes.to_string (Nat.to_bytes_be ~width:(width / 8) n)
+
+let to_hex (t : t) =
+  let buf = Buffer.create (2 * String.length t) in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) t;
+  Buffer.contents buf
+
+let short t = String.sub (to_hex t) 0 (Stdlib.min 8 (2 * String.length t))
+
+let random rng ~width =
+  check_width "Id.random" width;
+  Bytes.to_string (Rng.bytes rng (width / 8))
+
+let node_id_of_key key =
+  let digest = Past_crypto.Sha256.digest_string key in
+  Bytes.sub_string digest 0 (node_bits / 8)
+
+let node_id_of_public_key pub = node_id_of_key (Past_crypto.Rsa.public_to_string pub)
+
+let file_id_of_key ~name ~owner_key ~salt =
+  let material = Printf.sprintf "fileid:%s:%s:%s" name owner_key salt in
+  Bytes.to_string (Past_crypto.Sha1.digest_string material)
+
+let file_id ~name ~owner ~salt =
+  file_id_of_key ~name ~owner_key:(Past_crypto.Rsa.public_to_string owner) ~salt
+
+let prefix_of_file_id (t : t) =
+  if bits t < node_bits then invalid_arg "Id.prefix_of_file_id: id too short";
+  String.sub t 0 (node_bits / 8)
+
+let same_width name (a : t) (b : t) =
+  if String.length a <> String.length b then invalid_arg (name ^ ": width mismatch")
+
+let compare (a : t) (b : t) =
+  same_width "Id.compare" a b;
+  String.compare a b
+
+let equal a b = compare a b = 0
+let hash (t : t) = Hashtbl.hash t
+
+let digit ~b (t : t) i =
+  if b <> 1 && b <> 2 && b <> 4 && b <> 8 then invalid_arg "Id.digit: b must be 1, 2, 4 or 8";
+  let per_byte = 8 / b in
+  let byte = i / per_byte and slot = i mod per_byte in
+  if byte >= String.length t then invalid_arg "Id.digit: index out of range";
+  let v = Char.code t.[byte] in
+  let shift = 8 - (b * (slot + 1)) in
+  (v lsr shift) land ((1 lsl b) - 1)
+
+let num_digits ~b (t : t) = bits t / b
+
+let shared_prefix_digits ~b (x : t) (y : t) =
+  same_width "Id.shared_prefix_digits" x y;
+  let n = num_digits ~b x in
+  let rec go i = if i < n && digit ~b x i = digit ~b y i then go (i + 1) else i in
+  go 0
+
+let to_nat (t : t) = Nat.of_bytes_be (Bytes.of_string t)
+
+let of_nat ~width n =
+  check_width "Id.of_nat" width;
+  let modulus = Nat.shift_left Nat.one width in
+  let n = Nat.rem n modulus in
+  Bytes.to_string (Nat.to_bytes_be ~width:(width / 8) n)
+
+let linear_distance a b =
+  same_width "Id.linear_distance" a b;
+  let na = to_nat a and nb = to_nat b in
+  if Nat.compare na nb >= 0 then Nat.sub na nb else Nat.sub nb na
+
+let distance a b =
+  let d = linear_distance a b in
+  let modulus = Nat.shift_left Nat.one (bits a) in
+  let wrap = Nat.sub modulus d in
+  if Nat.compare d wrap <= 0 then d else wrap
+
+let cw_distance a b =
+  same_width "Id.cw_distance" a b;
+  let na = to_nat a and nb = to_nat b in
+  if Nat.compare nb na >= 0 then Nat.sub nb na
+  else Nat.sub (Nat.add (Nat.shift_left Nat.one (bits a)) nb) na
+
+let is_between_cw a x b =
+  (* Walking clockwise from a to b (half-open [a, b)): x is inside iff
+     cw(a,x) < cw(a,b). When a = b the arc covers the whole ring. *)
+  if equal a b then true else Nat.compare (cw_distance a x) (cw_distance a b) < 0
+
+(* (b - a) mod 2^bits as big-endian bytes: byte-wise subtraction with
+   borrow, no big-integer allocation. *)
+let cw_dist_key (a : t) (b : t) =
+  same_width "Id.cw_dist_key" a b;
+  let n = String.length a in
+  let out = Bytes.create n in
+  let borrow = ref 0 in
+  for i = n - 1 downto 0 do
+    let d = Char.code b.[i] - Char.code a.[i] - !borrow in
+    if d < 0 then begin
+      Bytes.unsafe_set out i (Char.unsafe_chr (d + 256));
+      borrow := 1
+    end
+    else begin
+      Bytes.unsafe_set out i (Char.unsafe_chr d);
+      borrow := 0
+    end
+  done;
+  Bytes.unsafe_to_string out
+
+(* Two's-complement negation in place: -e mod 2^bits. *)
+let negate_in_place buf =
+  let n = Bytes.length buf in
+  let carry = ref 1 in
+  for i = n - 1 downto 0 do
+    let v = (Char.code (Bytes.get buf i) lxor 0xFF) + !carry in
+    Bytes.unsafe_set buf i (Char.unsafe_chr (v land 0xFF));
+    carry := v lsr 8
+  done
+
+let ring_dist_key (a : t) (b : t) =
+  let e = Bytes.unsafe_of_string (cw_dist_key a b) in
+  (* min(e, -e): if the top bit is set, -e is smaller (e = 2^(bits-1)
+     maps to itself under negation, so the branch is still correct). *)
+  if Bytes.length e > 0 && Char.code (Bytes.get e 0) >= 0x80 then negate_in_place e;
+  Bytes.unsafe_to_string e
+
+let dist_key_le_sum d a b =
+  if String.length a <> String.length b || String.length a <> String.length d then
+    invalid_arg "Id.dist_key_le_sum: width mismatch";
+  let n = String.length a in
+  let sum = Bytes.create n in
+  let carry = ref 0 in
+  for i = n - 1 downto 0 do
+    let v = Char.code a.[i] + Char.code b.[i] + !carry in
+    Bytes.unsafe_set sum i (Char.unsafe_chr (v land 0xFF));
+    carry := v lsr 8
+  done;
+  (* A carry out means the sum exceeds any d. *)
+  !carry = 1 || String.compare d (Bytes.unsafe_to_string sum) <= 0
+
+let closer ~target x y =
+  let c = String.compare (ring_dist_key target x) (ring_dist_key target y) in
+  if c <> 0 then c else compare x y
+
+let add_int (t : t) delta =
+  let modulus = Nat.shift_left Nat.one (bits t) in
+  let n = to_nat t in
+  let n' =
+    if delta >= 0 then Nat.rem (Nat.add n (Nat.of_int delta)) modulus
+    else begin
+      let d = Nat.rem (Nat.of_int (-delta)) modulus in
+      if Nat.compare n d >= 0 then Nat.sub n d else Nat.sub (Nat.add n modulus) d
+    end
+  in
+  of_nat ~width:(bits t) n'
+
+let pp fmt t = Format.pp_print_string fmt (to_hex t)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)
+
+module Table = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

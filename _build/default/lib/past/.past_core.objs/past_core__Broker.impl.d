@@ -1,0 +1,1 @@
+lib/past/broker.ml: Past_crypto Past_stdext Smartcard

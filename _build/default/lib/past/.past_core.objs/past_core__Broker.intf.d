@@ -1,0 +1,1 @@
+lib/past/broker.mli: Past_crypto Past_stdext Smartcard

@@ -1,0 +1,1 @@
+lib/past/cache.ml: Certificate Past_id Stdlib

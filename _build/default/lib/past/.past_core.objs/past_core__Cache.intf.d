@@ -1,0 +1,1 @@
+lib/past/cache.mli: Certificate Past_id

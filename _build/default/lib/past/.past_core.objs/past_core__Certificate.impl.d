@@ -1,0 +1,1 @@
+lib/past/certificate.ml: Bytes Past_crypto Past_id Printf String

@@ -1,0 +1,1 @@
+lib/past/certificate.mli: Past_crypto Past_id

@@ -1,0 +1,1 @@
+lib/past/client.ml: Certificate Hashtbl Lazy List Node Option Past_crypto Past_id Past_pastry Past_simnet Past_stdext Smartcard String Wire

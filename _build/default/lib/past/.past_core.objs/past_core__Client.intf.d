@@ -1,0 +1,1 @@
+lib/past/client.mli: Certificate Node Past_id Past_pastry Past_stdext Smartcard

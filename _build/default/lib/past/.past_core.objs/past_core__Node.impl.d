@@ -1,0 +1,1 @@
+lib/past/node.ml: Cache Certificate Hashtbl List Logs Option Past_crypto Past_id Past_pastry Past_simnet Past_stdext Smartcard Store Wire

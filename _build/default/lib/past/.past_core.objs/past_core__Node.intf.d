@@ -1,0 +1,1 @@
+lib/past/node.mli: Cache Past_crypto Past_id Past_pastry Past_simnet Smartcard Store Wire

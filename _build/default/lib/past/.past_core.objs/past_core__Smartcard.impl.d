@@ -1,0 +1,1 @@
+lib/past/smartcard.ml: Bytes Certificate Hashtbl Past_crypto Past_id Past_stdext Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/past/smartcard.mli: Certificate Past_crypto Past_id Past_stdext

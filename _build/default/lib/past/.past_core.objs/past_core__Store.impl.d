@@ -1,0 +1,1 @@
+lib/past/store.ml: Certificate Past_id Past_pastry

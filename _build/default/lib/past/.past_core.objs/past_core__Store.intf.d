@@ -1,0 +1,1 @@
+lib/past/store.mli: Certificate Past_id Past_pastry

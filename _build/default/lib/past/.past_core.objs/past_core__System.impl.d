@@ -1,0 +1,1 @@
+lib/past/system.ml: Array Broker Client Hashtbl Node Option Past_crypto Past_id Past_pastry Past_simnet Past_stdext Printf Smartcard Store Wire

@@ -1,0 +1,1 @@
+lib/past/system.mli: Broker Client Node Past_crypto Past_pastry Past_simnet Past_stdext Wire

@@ -1,0 +1,1 @@
+lib/past/wire.ml: Certificate Past_id Past_pastry

@@ -1,0 +1,1 @@
+lib/past/wire.mli: Certificate Past_id Past_pastry

@@ -1,0 +1,38 @@
+(** Broker: the third party that issues smartcards and balances storage
+    supply and demand (paper §1, §2.1).
+
+    The broker is not involved in PAST's day-to-day operation; its
+    knowledge is limited to the cards it has circulated, their quotas
+    and the storage their holders committed to contribute. System
+    integrity requires the sum of client quotas (demand) not to exceed
+    the total contributed storage (supply); {!report} exposes that
+    balance and {!issue_card} can enforce it. *)
+
+module Signer = Past_crypto.Signer
+
+type t
+
+val create :
+  ?mode:[ `Rsa of int | `Insecure ] -> ?enforce_balance:bool -> Past_stdext.Rng.t -> t
+(** [mode] picks the signature scheme for the broker and every card it
+    issues (default [`Insecure] — the fast simulation mode; use
+    [`Rsa bits] for real signatures). With [enforce_balance] (default
+    false), card issue fails when demand would exceed supply. *)
+
+val public : t -> Signer.public
+
+val issue_card :
+  t -> quota:int -> contributed:int -> (Smartcard.t, [ `Supply_exhausted ]) result
+(** Issue a card entitling its holder to insert [quota] bytes
+    (× replication) and committing it to contribute [contributed]
+    bytes of storage. *)
+
+type report = {
+  cards_issued : int;
+  total_quota : int;  (** potential demand *)
+  total_contributed : int;  (** supply *)
+}
+
+val report : t -> report
+
+val endorses : t -> public:Signer.public -> endorsement:bytes -> bool

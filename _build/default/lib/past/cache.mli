@@ -1,0 +1,42 @@
+(** Unused-space file cache (paper §2.3).
+
+    Any PAST node may cache additional copies of popular files in the
+    disk space not currently used for primary/diverted replicas; cached
+    copies are evicted whenever real storage needs the room. The
+    eviction policy of the companion paper [12] is GreedyDual-Size
+    (weight H = L + 1/size, evict smallest H, L inflates to the evicted
+    weight); LRU and no-caching are provided as baselines. *)
+
+type policy = No_cache | Lru | Gds
+
+val policy_name : policy -> string
+
+type t
+
+val create : policy -> t
+
+val set_budget : t -> int -> unit
+(** Cache may use at most this many bytes; shrinking evicts
+    immediately. The PAST node sets it to the store's free space after
+    every store mutation. *)
+
+val budget : t -> int
+val used : t -> int
+
+val find : t -> Past_id.Id.t -> (Certificate.file * string) option
+(** A hit refreshes the entry's recency/weight and is counted. *)
+
+val mem : t -> Past_id.Id.t -> bool
+(** Presence test without touching recency or hit counters. *)
+
+val offer : t -> cert:Certificate.file -> data:string -> bool
+(** Consider caching a copy; evicts according to policy to make room.
+    Returns [true] if the file ended up cached. *)
+
+val remove : t -> Past_id.Id.t -> unit
+(** Drop a cached copy (e.g. after reclaim). *)
+
+val entry_count : t -> int
+val hits : t -> int
+val misses : t -> int
+val reset_counters : t -> unit

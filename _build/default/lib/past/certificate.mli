@@ -1,0 +1,100 @@
+(** Certificates and receipts exchanged during PAST operations
+    (paper §2.1).
+
+    A {e file certificate} authorises an insert: it binds the fileId,
+    the content hash, the size, the replication factor and the salt
+    under the owner's smartcard signature. Storing nodes use it to
+    check (1) that the user may insert, (2) that the content was not
+    corrupted en route, and (3) that the fileId is authentic. A
+    {e store receipt} proves a node stored a replica. A {e reclaim
+    certificate} authorises freeing the file's storage, and a
+    {e reclaim receipt} proves it happened (and by how much, for quota
+    credit). *)
+
+module Signer = Past_crypto.Signer
+
+type file = {
+  file_id : Past_id.Id.t;  (** 160-bit *)
+  owner : Signer.public;
+  owner_endorsement : bytes;  (** broker's signature over the owner's card key *)
+  content_hash : string;  (** hex SHA-1 of the content *)
+  size : int;  (** bytes *)
+  replication : int;  (** k *)
+  salt : string;
+  inserted_at : float;
+  signature : bytes;  (** by the owner's smartcard *)
+}
+
+val make_file :
+  keypair:Signer.keypair ->
+  owner:Signer.public ->
+  owner_endorsement:bytes ->
+  name:string ->
+  data:string ->
+  ?declared_size:int ->
+  replication:int ->
+  salt:string ->
+  now:float ->
+  unit ->
+  file
+(** Computes the fileId from (name, owner key, salt) and signs.
+    [declared_size] (default [String.length data]) lets large-scale
+    simulations account for multi-megabyte files while carrying tiny
+    placeholder payloads; content verification is then meaningless and
+    must be disabled (see DESIGN.md §2). *)
+
+val verify_file : file -> bool
+(** Signature check against the embedded owner key. *)
+
+val file_matches_content : file -> string -> bool
+(** Hash-and-size check of the data against the certificate. *)
+
+type store_receipt = {
+  sr_file_id : Past_id.Id.t;
+  storing_node : Signer.public;
+  storing_node_id : Past_id.Id.t;
+  stored_at : float;
+  sr_signature : bytes;
+}
+
+val make_store_receipt :
+  keypair:Signer.keypair ->
+  node_key:Signer.public ->
+  node_id:Past_id.Id.t ->
+  file_id:Past_id.Id.t ->
+  now:float ->
+  store_receipt
+
+val verify_store_receipt : store_receipt -> bool
+
+type reclaim = {
+  rc_file_id : Past_id.Id.t;
+  rc_owner : Signer.public;
+  issued_at : float;
+  rc_signature : bytes;
+}
+
+val make_reclaim :
+  keypair:Signer.keypair -> owner:Signer.public -> file_id:Past_id.Id.t -> now:float -> reclaim
+
+val verify_reclaim : reclaim -> bool
+
+val reclaim_matches_file : reclaim -> file -> bool
+(** The storage node's check that the reclaimer is the file's owner:
+    the reclaim signature's key must match the file certificate's. *)
+
+type reclaim_receipt = {
+  rr_file_id : Past_id.Id.t;
+  freed : int;  (** bytes credited back to the owner's quota *)
+  rr_storing_node : Signer.public;
+  rr_signature : bytes;
+}
+
+val make_reclaim_receipt :
+  keypair:Signer.keypair ->
+  node_key:Signer.public ->
+  file_id:Past_id.Id.t ->
+  freed:int ->
+  reclaim_receipt
+
+val verify_reclaim_receipt : reclaim_receipt -> bool

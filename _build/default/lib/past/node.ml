@@ -1,0 +1,530 @@
+module Signer = Past_crypto.Signer
+module Id = Past_id.Id
+module Net = Past_simnet.Net
+module PNode = Past_pastry.Node
+module Peer = Past_pastry.Peer
+module Leaf_set = Past_pastry.Leaf_set
+
+let log_src = Logs.Src.create "past.core" ~doc:"PAST storage protocol events"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type config = {
+  verify_certificates : bool;
+  cache_policy : Cache.policy;
+  cache_on_insert_path : bool;
+  cache_on_lookup_path : bool;
+  replica_diversion : bool;
+  admission_thresholds : bool;
+  t_pri : float;
+  t_div : float;
+  replication_delay : float;
+}
+
+let default_config =
+  {
+    verify_certificates = true;
+    cache_policy = Cache.Gds;
+    cache_on_insert_path = true;
+    cache_on_lookup_path = true;
+    replica_diversion = true;
+    admission_thresholds = true;
+    t_pri = 0.1;
+    t_div = 0.05;
+    replication_delay = 50.0;
+  }
+
+(* Root-side bookkeeping for lookups the root must satisfy by fetching
+   from a diverted holder or a fellow replica. *)
+type pending_fetch = {
+  mutable waiters : Wire.client_ref list;
+  mutable outstanding : int;
+  hops : int;
+  dist : float;
+}
+
+type t = {
+  pastry : Wire.t PNode.t;
+  store : Store.t;
+  cache : Cache.t;
+  card : Smartcard.t;
+  brokers : Signer.public list; (* trusted card issuers (§2.1: competing brokers co-exist) *)
+  config : config;
+  free_oracle : (Net.addr -> int option) option;
+      (* stands in for the free-space advertisements leaf-set nodes
+         piggyback on keep-alives in [12]; used to pick diversion
+         targets *)
+  clients : (int, Wire.t -> unit) Hashtbl.t;
+  mutable next_tag : int;
+  pending_fetches : pending_fetch Id.Table.t;
+  mutable replication_scheduled : bool;
+  (* counters *)
+  mutable served_store : int;
+  mutable served_cache : int;
+  mutable stored : int;
+  mutable refused : int;
+  mutable diverts_tried : int;
+  mutable diverts_ok : int;
+}
+
+let pastry t = t.pastry
+let store t = t.store
+let cache t = t.cache
+let card t = t.card
+let config t = t.config
+let id t = PNode.id t.pastry
+let addr t = PNode.addr t.pastry
+let self t = PNode.self t.pastry
+let net t = PNode.net t.pastry
+let now t = Net.now (net t)
+
+let lookups_served_from_store t = t.served_store
+let lookups_served_from_cache t = t.served_cache
+let replicas_stored t = t.stored
+let replicas_refused t = t.refused
+let diverts_attempted t = t.diverts_tried
+let diverts_succeeded t = t.diverts_ok
+
+let reset_counters t =
+  t.served_store <- 0;
+  t.served_cache <- 0;
+  t.stored <- 0;
+  t.refused <- 0;
+  t.diverts_tried <- 0;
+  t.diverts_ok <- 0
+
+(* Cache lives in the store's unused space: re-budget after every
+   store mutation (§2.3: "cached copies are evicted when a node stores
+   a new primary or diverted replica"). *)
+let sync_cache t = Cache.set_budget t.cache (Store.free t.store)
+
+let send t (dst : Peer.t) msg = PNode.send_direct t.pastry ~dst msg
+
+(* Deliver a reply to a client object through its access node; remote
+   replies travel in a To_client envelope carrying the tag. *)
+let to_client t (c : Wire.client_ref) msg =
+  if c.Wire.access.Peer.addr = addr t then begin
+    match Hashtbl.find_opt t.clients c.Wire.tag with
+    | Some dispatch -> dispatch msg
+    | None -> ()
+  end
+  else send t c.Wire.access (Wire.To_client { tag = c.Wire.tag; inner = msg })
+
+let register_client t dispatch =
+  let tag = t.next_tag in
+  t.next_tag <- tag + 1;
+  Hashtbl.replace t.clients tag dispatch;
+  tag
+
+let route_client_op t ~key msg = PNode.route t.pastry ~key msg
+
+(* --- certificate checks (§2.1) ---------------------------------------- *)
+
+let file_cert_valid t (cert : Certificate.file) data =
+  (not t.config.verify_certificates)
+  || Certificate.verify_file cert
+     && Certificate.file_matches_content cert data
+     && List.exists
+          (fun broker ->
+            Smartcard.endorsed_by ~broker ~public:cert.Certificate.owner
+              ~endorsement:cert.Certificate.owner_endorsement)
+          t.brokers
+
+let reclaim_valid t (rc : Certificate.reclaim) =
+  (not t.config.verify_certificates) || Certificate.verify_reclaim rc
+
+(* --- replica storage --------------------------------------------------- *)
+
+let replica_set t ~k key =
+  Leaf_set.replica_set (PNode.leaf_set t.pastry) ~k key
+  |> List.map (function `Self -> self t | `Peer p -> p)
+
+let routing_key (cert : Certificate.file) = Id.prefix_of_file_id cert.Certificate.file_id
+
+let store_locally t (cert : Certificate.file) data kind =
+  let put = if t.config.admission_thresholds then Store.put else Store.force_put in
+  match put t.store ~cert ~data ~kind with
+  | Ok () ->
+    sync_cache t;
+    (* A file promoted to a replica needs no cached copy here too. *)
+    Cache.remove t.cache cert.Certificate.file_id;
+    t.stored <- t.stored + 1;
+    Ok ()
+  | Error `Refused -> Error `Refused
+
+let ack_stored t (cert : Certificate.file) client =
+  let receipt =
+    Smartcard.issue_store_receipt t.card ~file_id:cert.Certificate.file_id ~now:(now t)
+  in
+  to_client t client (Wire.Replica_ack { file_id = cert.Certificate.file_id; receipt })
+
+let nack t (cert : Certificate.file) client =
+  Log.debug (fun m ->
+      m "%s refuses replica of %s (%d bytes, free %d)" (Id.short (id t))
+        (Id.short cert.Certificate.file_id) cert.Certificate.size (Store.free t.store));
+  t.refused <- t.refused + 1;
+  to_client t client (Wire.Replica_nack { file_id = cert.Certificate.file_id; node_id = id t })
+
+(* Replica diversion (§2.3 via [12]): a full replica node asks a
+   leaf-set neighbour that is not itself in the replica set to hold
+   the copy, keeping a pointer. The target is the member with the most
+   advertised free space (leaf-set nodes learn each other's free space
+   from keep-alive piggybacks, modelled by [free_oracle]); without
+   advertisements the choice is uniform. *)
+let divert_target t (cert : Certificate.file) =
+  let key = routing_key cert in
+  let rs = replica_set t ~k:cert.Certificate.replication key in
+  let in_replica_set p = List.exists (fun q -> q.Peer.addr = p.Peer.addr) rs in
+  let eligible =
+    Leaf_set.members (PNode.leaf_set t.pastry)
+    |> List.filter (fun p -> (not (in_replica_set p)) && p.Peer.addr <> addr t)
+  in
+  match (eligible, t.free_oracle) with
+  | [], _ -> None
+  | _, None -> Some (Past_stdext.Rng.pick_list (Net.rng (net t)) eligible)
+  | first :: rest, Some oracle ->
+    let free p = Option.value ~default:0 (oracle p.Peer.addr) in
+    Some (List.fold_left (fun best p -> if free p > free best then p else best) first rest)
+
+let try_divert t (cert : Certificate.file) data client =
+  match divert_target t cert with
+  | None -> nack t cert client
+  | Some target ->
+    Log.debug (fun m ->
+        m "%s diverts replica of %s to %s" (Id.short (id t))
+          (Id.short cert.Certificate.file_id) (Id.short target.Peer.id));
+    t.diverts_tried <- t.diverts_tried + 1;
+    send t target (Wire.Divert_store { cert; data; client; origin = self t })
+
+let handle_store_replica t (cert : Certificate.file) data client =
+  if not (file_cert_valid t cert data) then nack t cert client
+  else begin
+    match store_locally t cert data Store.Primary with
+    | Ok () -> ack_stored t cert client
+    | Error `Refused ->
+      if t.config.replica_diversion && t.config.admission_thresholds then
+        try_divert t cert data client
+      else nack t cert client
+  end
+
+let handle_divert_store t (cert : Certificate.file) data client (origin : Peer.t) =
+  let refuse () =
+    send t origin (Wire.Divert_nack { file_id = cert.Certificate.file_id; client })
+  in
+  if not (file_cert_valid t cert data) then refuse ()
+  else begin
+    match store_locally t cert data (Store.Diverted { on_behalf = origin.Peer.id }) with
+    | Ok () ->
+      send t origin (Wire.Divert_ack { file_id = cert.Certificate.file_id; holder = self t });
+      ack_stored t cert client
+    | Error `Refused -> refuse ()
+  end
+
+(* --- insert (root side) ----------------------------------------------- *)
+
+let handle_insert t (cert : Certificate.file) data client =
+  if not (file_cert_valid t cert data) then nack t cert client
+  else begin
+    let key = routing_key cert in
+    let rs = replica_set t ~k:cert.Certificate.replication key in
+    List.iter
+      (fun (p : Peer.t) ->
+        if p.Peer.addr = addr t then handle_store_replica t cert data client
+        else send t p (Wire.Store_replica { cert; data; client }))
+      rs
+  end
+
+(* --- lookup ------------------------------------------------------------ *)
+
+let serve t (cert : Certificate.file) data client ~hops ~dist ~path =
+  to_client t client (Wire.Lookup_hit { cert; data; hops; dist; server = self t });
+  (* Populate the caches of the nodes the lookup travelled through
+     (§2.3: cached copies of popular files end up near clients). *)
+  if t.config.cache_on_lookup_path then begin
+    let self_addr = addr t in
+    List.iter
+      (fun a ->
+        if a <> self_addr && a <> client.Wire.access.Peer.addr then
+          Net.send (net t) ~src:self_addr ~dst:a (Past_pastry.Message.Direct
+            { from = self t; payload = Wire.Cache_offer { cert; data } }))
+      path
+  end
+
+let try_serve_locally t file_id client ~hops ~dist ~path =
+  match Store.get t.store file_id with
+  | Some entry ->
+    t.served_store <- t.served_store + 1;
+    serve t entry.Store.cert entry.Store.data client ~hops ~dist ~path;
+    true
+  | None -> (
+    match Cache.find t.cache file_id with
+    | Some (cert, data) ->
+      t.served_cache <- t.served_cache + 1;
+      serve t cert data client ~hops ~dist ~path;
+      true
+    | None -> false)
+
+(* Root-side fallback: pull the file from the diverted holder or from a
+   fellow replica, then answer every waiting client. *)
+let root_fetch t file_id client ~hops ~dist =
+  match Id.Table.find_opt t.pending_fetches file_id with
+  | Some pending -> pending.waiters <- client :: pending.waiters
+  | None -> (
+    let targets =
+      match Store.pointer t.store file_id with
+      | Some holder -> [ holder ]
+      | None ->
+        replica_set t ~k:8 (Id.prefix_of_file_id file_id)
+        |> List.filter (fun p -> p.Peer.addr <> addr t)
+    in
+    match targets with
+    | [] -> to_client t client (Wire.Lookup_miss { file_id })
+    | _ ->
+      Id.Table.replace t.pending_fetches file_id
+        { waiters = [ client ]; outstanding = List.length targets; hops; dist };
+      List.iter (fun p -> send t p (Wire.Fetch { file_id; requester = self t })) targets)
+
+let handle_fetch_reply t (cert : Certificate.file) data =
+  let file_id = cert.Certificate.file_id in
+  match Id.Table.find_opt t.pending_fetches file_id with
+  | None -> ()
+  | Some pending ->
+    Id.Table.remove t.pending_fetches file_id;
+    (* Keep a cached copy: the root is a popular target for this id. *)
+    ignore (Cache.offer t.cache ~cert ~data);
+    List.iter
+      (fun client ->
+        to_client t client
+          (Wire.Lookup_hit
+             { cert; data; hops = pending.hops; dist = pending.dist; server = self t }))
+      pending.waiters
+
+let handle_fetch_miss t file_id =
+  match Id.Table.find_opt t.pending_fetches file_id with
+  | None -> ()
+  | Some pending ->
+    pending.outstanding <- pending.outstanding - 1;
+    if pending.outstanding <= 0 then begin
+      Id.Table.remove t.pending_fetches file_id;
+      List.iter (fun client -> to_client t client (Wire.Lookup_miss { file_id })) pending.waiters
+    end
+
+let handle_fetch t file_id (requester : Peer.t) =
+  match Store.get t.store file_id with
+  | Some entry -> send t requester (Wire.Fetch_reply { cert = entry.Store.cert; data = entry.Store.data })
+  | None -> (
+    match Cache.find t.cache file_id with
+    | Some (cert, data) -> send t requester (Wire.Fetch_reply { cert; data })
+    | None -> (
+      match Store.pointer t.store file_id with
+      | Some holder -> send t holder (Wire.Fetch { file_id; requester })
+      | None -> send t requester (Wire.Fetch_miss { file_id })))
+
+(* --- reclaim (§2.1) ---------------------------------------------------- *)
+
+let handle_reclaim_exec t (rc : Certificate.reclaim) client =
+  let file_id = rc.Certificate.rc_file_id in
+  (* Pointers are chased so diverted replicas are reclaimed too. *)
+  (match Store.pointer t.store file_id with
+  | Some holder ->
+    Store.remove_pointer t.store file_id;
+    send t holder (Wire.Reclaim_exec { rc; client })
+  | None -> ());
+  Cache.remove t.cache file_id;
+  match Store.get t.store file_id with
+  | None -> ()
+  | Some entry ->
+    if reclaim_valid t rc && Certificate.reclaim_matches_file rc entry.Store.cert then begin
+      ignore (Store.remove t.store file_id);
+      sync_cache t;
+      let receipt =
+        Smartcard.issue_reclaim_receipt t.card ~file_id ~freed:entry.Store.cert.Certificate.size
+      in
+      to_client t client (Wire.Reclaim_ack { receipt })
+    end
+    else
+      to_client t client (Wire.Reclaim_nack { file_id; reason = "owner mismatch or bad signature" })
+
+let handle_reclaim t (rc : Certificate.reclaim) client =
+  if not (reclaim_valid t rc) then
+    to_client t client
+      (Wire.Reclaim_nack { file_id = rc.Certificate.rc_file_id; reason = "bad reclaim certificate" })
+  else begin
+    let file_id = rc.Certificate.rc_file_id in
+    let k =
+      match Store.get t.store file_id with
+      | Some entry -> entry.Store.cert.Certificate.replication
+      | None -> 8
+    in
+    let rs = replica_set t ~k (Id.prefix_of_file_id file_id) in
+    List.iter
+      (fun (p : Peer.t) ->
+        if p.Peer.addr = addr t then handle_reclaim_exec t rc client
+        else send t p (Wire.Reclaim_exec { rc; client }))
+      rs
+  end
+
+(* --- failure recovery / re-replication (§2.1 Persistence) -------------- *)
+
+let re_replicate t =
+  Log.debug (fun m -> m "%s re-replicating after leaf-set change" (Id.short (id t)));
+  t.replication_scheduled <- false;
+  Store.iter t.store (fun entry ->
+      match entry.Store.kind with
+      | Store.Diverted _ -> ()
+      | Store.Primary ->
+        let cert = entry.Store.cert in
+        let key = routing_key cert in
+        let rs = replica_set t ~k:cert.Certificate.replication key in
+        let am_root =
+          match rs with p :: _ -> p.Peer.addr = addr t | [] -> false
+        in
+        (* Only the current root pushes copies, to avoid replication
+           storms; recipients deduplicate. *)
+        if am_root then
+          List.iter
+            (fun (p : Peer.t) ->
+              if p.Peer.addr <> addr t then
+                send t p (Wire.Replicate { cert; data = entry.Store.data }))
+            rs)
+
+let schedule_re_replication t =
+  if not t.replication_scheduled then begin
+    t.replication_scheduled <- true;
+    Net.schedule (net t) ~delay:t.config.replication_delay (fun () ->
+        if Net.alive (net t) (addr t) then re_replicate t else t.replication_scheduled <- false)
+  end
+
+let handle_replicate t (cert : Certificate.file) data =
+  if Store.mem t.store cert.Certificate.file_id then ()
+  else if file_cert_valid t cert data then begin
+    match store_locally t cert data Store.Primary with
+    | Ok () -> ()
+    | Error `Refused ->
+      (* Even recovery copies respect storage management; divert if
+         allowed so the replica count recovers. *)
+      if t.config.replica_diversion && t.config.admission_thresholds then begin
+        match divert_target t cert with
+        | None -> ()
+        | Some target ->
+          send t target
+            (Wire.Divert_store
+               {
+                 cert;
+                 data;
+                 client = { Wire.access = self t; tag = -1 };
+                 origin = self t;
+               })
+      end
+  end
+
+(* --- wiring ------------------------------------------------------------ *)
+
+let deliver t ~key:_ (msg : Wire.t) (info : PNode.route_info) =
+  match msg with
+  | Wire.Insert { cert; data; client } -> handle_insert t cert data client
+  | Wire.Lookup { file_id; client } ->
+    if not (try_serve_locally t file_id client ~hops:info.PNode.hops ~dist:info.PNode.dist ~path:info.PNode.path)
+    then root_fetch t file_id client ~hops:info.PNode.hops ~dist:info.PNode.dist
+  | Wire.Reclaim { rc; client } -> handle_reclaim t rc client
+  | other ->
+    (* Replies routed (rather than sent directly) should not occur;
+       accept client-bound ones defensively. *)
+    (match other with
+    | Wire.Replica_ack _ | Wire.Replica_nack _ | Wire.Lookup_hit _ | Wire.Lookup_miss _
+    | Wire.Reclaim_ack _ | Wire.Reclaim_nack _ -> ()
+    | _ -> ())
+
+let forward t ~key:_ (msg : Wire.t) (info : PNode.route_info) =
+  match msg with
+  | Wire.Lookup { file_id; client } ->
+    (* Serve from an en-route replica or cached copy: this is how
+       caching shortens fetch distance (§2.3). *)
+    if try_serve_locally t file_id client ~hops:info.PNode.hops ~dist:info.PNode.dist ~path:info.PNode.path
+    then `Stop
+    else `Continue
+  | Wire.Insert { cert; data; _ } ->
+    if t.config.cache_on_insert_path then ignore (Cache.offer t.cache ~cert ~data);
+    `Continue
+  | _ -> `Continue
+
+let on_direct t ~from:_ (msg : Wire.t) =
+  match msg with
+  | Wire.Store_replica { cert; data; client } -> handle_store_replica t cert data client
+  | Wire.Divert_store { cert; data; client; origin } -> handle_divert_store t cert data client origin
+  | Wire.Divert_ack { file_id; holder } ->
+    t.diverts_ok <- t.diverts_ok + 1;
+    Store.add_pointer t.store ~file_id ~holder
+  | Wire.Divert_nack { file_id; client } ->
+    if client.Wire.tag >= 0 then begin
+      t.refused <- t.refused + 1;
+      to_client t client (Wire.Replica_nack { file_id; node_id = id t })
+    end
+  | Wire.To_client { tag; inner } -> (
+    match Hashtbl.find_opt t.clients tag with
+    | Some dispatch -> dispatch inner
+    | None -> ())
+  | Wire.Replica_ack _ | Wire.Replica_nack _ | Wire.Lookup_hit _ | Wire.Lookup_miss _
+  | Wire.Reclaim_ack _ | Wire.Reclaim_nack _ ->
+    (* Bare client-bound replies only occur tagless (tag -1, internal
+       maintenance traffic); ignore. *)
+    ()
+  | Wire.Fetch { file_id; requester } -> handle_fetch t file_id requester
+  | Wire.Fetch_reply { cert; data } -> handle_fetch_reply t cert data
+  | Wire.Fetch_miss { file_id } -> handle_fetch_miss t file_id
+  | Wire.Reclaim_exec { rc; client } -> handle_reclaim_exec t rc client
+  | Wire.Audit_challenge { file_id; nonce; client } -> (
+    (* Produce SHA-1(nonce ‖ content) from the primary/diverted replica;
+       chase the pointer when the replica was diverted (the audited
+       node is still responsible for the bytes); an empty proof admits
+       the file cannot be produced. *)
+    match Store.get t.store file_id with
+    | Some entry ->
+      let proof =
+        Past_crypto.Sha1.hex_of_digest
+          (Past_crypto.Sha1.digest_string (nonce ^ entry.Store.data))
+      in
+      to_client t client (Wire.Audit_proof { file_id; nonce; proof })
+    | None -> (
+      match Store.pointer t.store file_id with
+      | Some holder -> send t holder (Wire.Audit_challenge { file_id; nonce; client })
+      | None -> to_client t client (Wire.Audit_proof { file_id; nonce; proof = "" })))
+  | Wire.Audit_proof _ -> ()
+  | Wire.Cache_offer { cert; data } ->
+    if not (Store.mem t.store cert.Certificate.file_id) then
+      ignore (Cache.offer t.cache ~cert ~data)
+  | Wire.Replicate { cert; data } -> handle_replicate t cert data
+  | Wire.Insert _ | Wire.Lookup _ | Wire.Reclaim _ -> ()
+
+let attach ~pastry ~card ~brokers ~capacity ?(config = default_config) ?free_oracle () =
+  if brokers = [] then invalid_arg "Node.attach: need at least one trusted broker";
+  let t =
+    {
+      pastry;
+      store = Store.create ~capacity ~t_pri:config.t_pri ~t_div:config.t_div ();
+      cache = Cache.create config.cache_policy;
+      card;
+      brokers;
+      config;
+      free_oracle;
+      clients = Hashtbl.create 8;
+      next_tag = 0;
+      pending_fetches = Id.Table.create 16;
+      replication_scheduled = false;
+      served_store = 0;
+      served_cache = 0;
+      stored = 0;
+      refused = 0;
+      diverts_tried = 0;
+      diverts_ok = 0;
+    }
+  in
+  sync_cache t;
+  PNode.set_app pastry
+    {
+      PNode.deliver = (fun ~key msg info -> deliver t ~key msg info);
+      forward = (fun ~key msg info -> forward t ~key msg info);
+      on_direct = (fun ~from msg -> on_direct t ~from msg);
+      on_leaf_change = (fun () -> schedule_re_replication t);
+    };
+  t

@@ -1,0 +1,96 @@
+module Signer = Past_crypto.Signer
+module Id = Past_id.Id
+module Rng = Past_stdext.Rng
+
+type t = {
+  keypair : Signer.keypair;
+  public : Signer.public;
+  endorsement : bytes;
+  broker : Signer.public;
+  quota : int;
+  mutable used : int;
+  contributed : int;
+  rng : Rng.t;
+  seen_receipts : (string, unit) Hashtbl.t; (* double-credit protection *)
+}
+
+let make ~keypair ~endorsement ~broker ~quota ~contributed ~rng =
+  if quota < 0 || contributed < 0 then invalid_arg "Smartcard.make: negative quota";
+  {
+    keypair;
+    public = Signer.public keypair;
+    endorsement;
+    broker;
+    quota;
+    used = 0;
+    contributed;
+    rng;
+    seen_receipts = Hashtbl.create 16;
+  }
+
+let public t = t.public
+let endorsement t = t.endorsement
+let broker t = t.broker
+let node_id t = Id.node_id_of_key (Signer.public_to_string t.public)
+let quota t = t.quota
+let used t = t.used
+let remaining t = t.quota - t.used
+let contributed t = t.contributed
+let keypair t = t.keypair
+
+let endorsement_material public =
+  Bytes.of_string (Printf.sprintf "card:%s" (Signer.public_to_string public))
+
+let endorsed_by ~broker ~public ~endorsement =
+  Signer.verify broker (endorsement_material public) endorsement
+
+type quota_error = Quota_exceeded of { requested : int; available : int }
+
+let fresh_salt t = Past_crypto.Sha256.hex_of_digest (Rng.bytes t.rng 8)
+
+let issue_with_salt t ~name ~data ?declared_size ~replication ~now ~debit () =
+  let size = match declared_size with Some s -> s | None -> String.length data in
+  let charge = size * replication in
+  if debit && charge > remaining t then
+    Error (Quota_exceeded { requested = charge; available = remaining t })
+  else begin
+    if debit then t.used <- t.used + charge;
+    Ok
+      (Certificate.make_file ~keypair:t.keypair ~owner:t.public ~owner_endorsement:t.endorsement
+         ~name ~data ?declared_size ~replication ~salt:(fresh_salt t) ~now ())
+  end
+
+let issue_file_certificate t ~name ~data ?declared_size ~replication ~now () =
+  issue_with_salt t ~name ~data ?declared_size ~replication ~now ~debit:true ()
+
+let reissue_file_certificate t ~name ~data ?declared_size ~replication ~now () =
+  issue_with_salt t ~name ~data ?declared_size ~replication ~now ~debit:false ()
+
+let refund_failed_insert t (cert : Certificate.file) ~copies_not_stored =
+  if copies_not_stored < 0 || copies_not_stored > cert.Certificate.replication then
+    invalid_arg "Smartcard.refund_failed_insert: bad copy count";
+  t.used <- Stdlib.max 0 (t.used - (cert.Certificate.size * copies_not_stored))
+
+let issue_reclaim_certificate t ~file_id ~now =
+  Certificate.make_reclaim ~keypair:t.keypair ~owner:t.public ~file_id ~now
+
+let credit_reclaim_receipt t (r : Certificate.reclaim_receipt) =
+  let key =
+    Printf.sprintf "%s:%s"
+      (Id.to_hex r.Certificate.rr_file_id)
+      (Signer.public_to_string r.Certificate.rr_storing_node)
+  in
+  if Hashtbl.mem t.seen_receipts key then false
+  else if not (Certificate.verify_reclaim_receipt r) then false
+  else begin
+    Hashtbl.replace t.seen_receipts key ();
+    t.used <- Stdlib.max 0 (t.used - r.Certificate.freed);
+    true
+  end
+
+let issue_store_receipt t ~file_id ~now =
+  Certificate.make_store_receipt ~keypair:t.keypair ~node_key:t.public ~node_id:(node_id t)
+    ~file_id ~now
+
+let issue_reclaim_receipt t ~file_id ~freed =
+  Certificate.make_reclaim_receipt ~keypair:t.keypair ~node_key:t.public ~file_id ~freed

@@ -1,0 +1,72 @@
+module Id = Past_id.Id
+
+type kind = Primary | Diverted of { on_behalf : Id.t }
+type entry = { cert : Certificate.file; data : string; kind : kind }
+
+type t = {
+  capacity : int;
+  t_pri : float;
+  t_div : float;
+  mutable used : int;
+  files : entry Id.Table.t;
+  pointers : Past_pastry.Peer.t Id.Table.t;
+}
+
+let create ~capacity ?(t_pri = 0.1) ?(t_div = 0.05) () =
+  if capacity < 0 then invalid_arg "Store.create: negative capacity";
+  if t_pri <= 0.0 || t_div <= 0.0 then invalid_arg "Store.create: thresholds must be positive";
+  { capacity; t_pri; t_div; used = 0; files = Id.Table.create 64; pointers = Id.Table.create 16 }
+
+let capacity t = t.capacity
+let used t = t.used
+let free t = t.capacity - t.used
+let utilization t = if t.capacity = 0 then 1.0 else float_of_int t.used /. float_of_int t.capacity
+let file_count t = Id.Table.length t.files
+
+let admits t ~size ~kind =
+  let threshold = match kind with `Primary -> t.t_pri | `Diverted -> t.t_div in
+  size <= free t && float_of_int size <= threshold *. float_of_int (free t)
+
+let insert t ~cert ~data ~kind =
+  let size = cert.Certificate.size in
+  (match Id.Table.find_opt t.files cert.Certificate.file_id with
+  | Some old -> t.used <- t.used - old.cert.Certificate.size
+  | None -> ());
+  Id.Table.replace t.files cert.Certificate.file_id { cert; data; kind };
+  t.used <- t.used + size
+
+let put t ~cert ~data ~kind =
+  let already = Id.Table.mem t.files cert.Certificate.file_id in
+  let admission_kind = match kind with Primary -> `Primary | Diverted _ -> `Diverted in
+  if already || admits t ~size:cert.Certificate.size ~kind:admission_kind then begin
+    insert t ~cert ~data ~kind;
+    Ok ()
+  end
+  else Error `Refused
+
+let force_put t ~cert ~data ~kind =
+  let already = Id.Table.mem t.files cert.Certificate.file_id in
+  if already || cert.Certificate.size <= free t then begin
+    insert t ~cert ~data ~kind;
+    Ok ()
+  end
+  else Error `Refused
+
+let get t file_id = Id.Table.find_opt t.files file_id
+let mem t file_id = Id.Table.mem t.files file_id
+
+let remove t file_id =
+  match Id.Table.find_opt t.files file_id with
+  | None -> None
+  | Some entry ->
+    Id.Table.remove t.files file_id;
+    t.used <- t.used - entry.cert.Certificate.size;
+    Some entry
+
+let entries t = Id.Table.fold (fun _ e acc -> e :: acc) t.files []
+let iter t f = Id.Table.iter (fun _ e -> f e) t.files
+
+let add_pointer t ~file_id ~holder = Id.Table.replace t.pointers file_id holder
+let pointer t file_id = Id.Table.find_opt t.pointers file_id
+let remove_pointer t file_id = Id.Table.remove t.pointers file_id
+let pointer_count t = Id.Table.length t.pointers

@@ -1,0 +1,53 @@
+(** Per-node storage with the PAST storage-management policies
+    (paper §2.3, detailed in its companion [12]).
+
+    A node stores {e primary} replicas (it is one of the k numerically
+    closest to the fileId) and {e diverted} replicas (stored on behalf
+    of a full leaf-set neighbour). Admission follows the
+    file-size/free-space threshold rule: a file is refused when
+    [size / free > t], with a laxer threshold [t_pri] for primary than
+    [t_div] for diverted replicas — this biases rejections toward large
+    files and leaves room for many small ones, which is what lets
+    global utilization approach 100%% with few rejections. A node that
+    diverts a replica keeps a {e pointer} to the actual holder. *)
+
+type kind = Primary | Diverted of { on_behalf : Past_id.Id.t }
+
+type entry = { cert : Certificate.file; data : string; kind : kind }
+
+type t
+
+val create : capacity:int -> ?t_pri:float -> ?t_div:float -> unit -> t
+(** Thresholds default to the companion paper's values
+    [t_pri = 0.1], [t_div = 0.05]. *)
+
+val capacity : t -> int
+val used : t -> int
+val free : t -> int
+val utilization : t -> float
+val file_count : t -> int
+
+val admits : t -> size:int -> kind:[ `Primary | `Diverted ] -> bool
+(** The threshold admission rule (no side effects). *)
+
+val put : t -> cert:Certificate.file -> data:string -> kind:kind -> (unit, [ `Refused ]) result
+(** Store a replica if the admission rule allows. Duplicate fileIds
+    overwrite (idempotent re-replication). *)
+
+val force_put : t -> cert:Certificate.file -> data:string -> kind:kind -> (unit, [ `Refused ]) result
+(** Store bypassing the threshold rule (still bounded by capacity) —
+    the no-storage-management baseline. *)
+
+val get : t -> Past_id.Id.t -> entry option
+val mem : t -> Past_id.Id.t -> bool
+
+val remove : t -> Past_id.Id.t -> entry option
+(** Frees the space; returns the removed entry. *)
+
+val entries : t -> entry list
+val iter : t -> (entry -> unit) -> unit
+
+val add_pointer : t -> file_id:Past_id.Id.t -> holder:Past_pastry.Peer.t -> unit
+val pointer : t -> Past_id.Id.t -> Past_pastry.Peer.t option
+val remove_pointer : t -> Past_id.Id.t -> unit
+val pointer_count : t -> int

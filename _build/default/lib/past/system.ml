@@ -1,0 +1,104 @@
+module Signer = Past_crypto.Signer
+module Id = Past_id.Id
+module Net = Past_simnet.Net
+module Overlay = Past_pastry.Overlay
+module PNode = Past_pastry.Node
+module Rng = Past_stdext.Rng
+
+type t = {
+  overlay : Wire.t Overlay.t;
+  brokers : Broker.t array;
+  mutable nodes : Node.t array;
+  by_addr : (Net.addr, Node.t) Hashtbl.t;
+  rng : Rng.t;
+  node_config : Node.config;
+  crypto_mode : [ `Rsa of int | `Insecure ];
+}
+
+let overlay t = t.overlay
+let brokers t = t.brokers
+let broker t = t.brokers.(0)
+let nodes t = t.nodes
+let node_count t = Array.length t.nodes
+let rng t = t.rng
+let net t = Overlay.net t.overlay
+let run ?until t = Overlay.run ?until t.overlay
+
+let node_of_pastry_addr t addr =
+  match Hashtbl.find_opt t.by_addr addr with
+  | Some n -> n
+  | None -> invalid_arg (Printf.sprintf "System.node_of_pastry_addr: unknown address %d" addr)
+
+let create ?pastry_config ?(node_config = Node.default_config) ?topology
+    ?(crypto_mode = `Insecure) ?build ?loss_rate ?(broker_count = 1) ~seed ~n ~node_capacity ()
+    =
+  if n < 1 then invalid_arg "System.create: need at least one node";
+  if broker_count < 1 then invalid_arg "System.create: need at least one broker";
+  let rng = Rng.create seed in
+  let overlay = Overlay.create ?config:pastry_config ?topology ?loss_rate ~seed:(seed + 1) () in
+  let brokers = Array.init broker_count (fun _ -> Broker.create ~mode:crypto_mode (Rng.split rng)) in
+  let build = match build with Some b -> b | None -> if n <= 500 then `Dynamic else `Static in
+  let t =
+    {
+      overlay;
+      brokers;
+      nodes = [||];
+      by_addr = Hashtbl.create (2 * n);
+      rng;
+      node_config;
+      crypto_mode;
+    }
+  in
+  let trusted = Array.to_list (Array.map Broker.public brokers) in
+  let free_oracle addr =
+    Option.map (fun node -> Store.free (Node.store node)) (Hashtbl.find_opt t.by_addr addr)
+  in
+  let make_node i =
+    let capacity = node_capacity i rng in
+    (* Cards are issued round-robin across the competing brokers. *)
+    let card =
+      match Broker.issue_card brokers.(i mod broker_count) ~quota:0 ~contributed:capacity with
+      | Ok card -> card
+      | Error `Supply_exhausted -> assert false (* broker created without enforcement *)
+    in
+    let pastry = Overlay.add_node_with_id overlay ~id:(Smartcard.node_id card) in
+    let node =
+      Node.attach ~pastry ~card ~brokers:trusted ~capacity ~config:node_config ~free_oracle ()
+    in
+    Hashtbl.replace t.by_addr (PNode.addr pastry) node;
+    node
+  in
+  t.nodes <- Array.init n make_node;
+  (match build with
+  | `Static -> Overlay.populate_static overlay
+  | `Dynamic -> Overlay.join_all_dynamic overlay);
+  Overlay.run overlay;
+  t
+
+let new_client t ?access ?op_timeout ?max_insert_attempts ?verify ?(broker_index = 0) ~quota ()
+    =
+  let access =
+    match access with
+    | Some node -> node
+    | None -> node_of_pastry_addr t (PNode.addr (Overlay.random_live_node t.overlay))
+  in
+  let card =
+    match Broker.issue_card t.brokers.(broker_index) ~quota ~contributed:0 with
+    | Ok card -> card
+    | Error `Supply_exhausted -> invalid_arg "System.new_client: broker supply exhausted"
+  in
+  Client.create ~card ~access ?op_timeout ?max_insert_attempts ?verify ~rng:(Rng.split t.rng) ()
+
+let total_capacity t =
+  Array.fold_left (fun acc node -> acc + Store.capacity (Node.store node)) 0 t.nodes
+
+let total_used t = Array.fold_left (fun acc node -> acc + Store.used (Node.store node)) 0 t.nodes
+
+let global_utilization t =
+  let cap = total_capacity t in
+  if cap = 0 then 0.0 else float_of_int (total_used t) /. float_of_int cap
+
+let kill_node t node = Overlay.kill t.overlay (Node.pastry node)
+let revive_node t node = Overlay.revive t.overlay (Node.pastry node)
+let start_maintenance t = Overlay.start_maintenance t.overlay
+let stop_maintenance t = Overlay.stop_maintenance t.overlay

@@ -1,0 +1,1 @@
+lib/pastry/config.ml: Past_id

@@ -1,0 +1,1 @@
+lib/pastry/leaf_set.ml: Config Format Hashtbl List Option Past_bignum Past_id Peer String

@@ -1,0 +1,1 @@
+lib/pastry/leaf_set.mli: Config Format Past_id Past_simnet Peer

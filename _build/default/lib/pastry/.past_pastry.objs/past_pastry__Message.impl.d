@@ -1,0 +1,1 @@
+lib/pastry/message.ml: Past_id Past_simnet Peer

@@ -1,0 +1,1 @@
+lib/pastry/message.mli: Past_id Past_simnet Peer

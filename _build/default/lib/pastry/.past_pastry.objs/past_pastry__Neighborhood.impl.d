@@ -1,0 +1,1 @@
+lib/pastry/neighborhood.ml: Config List Past_id Peer

@@ -1,0 +1,1 @@
+lib/pastry/neighborhood.mli: Config Past_id Past_simnet Peer

@@ -1,0 +1,1 @@
+lib/pastry/node.ml: Config Hashtbl Leaf_set List Logs Message Neighborhood Option Past_id Past_simnet Past_stdext Peer Routing_table Stdlib

@@ -1,0 +1,1 @@
+lib/pastry/node.mli: Config Leaf_set Message Neighborhood Past_id Past_simnet Past_stdext Peer Routing_table

@@ -1,0 +1,1 @@
+lib/pastry/overlay.ml: Array Bytes Char Config Hashtbl List Message Neighborhood Node Past_id Past_simnet Past_stdext Printf Routing_table Stdlib

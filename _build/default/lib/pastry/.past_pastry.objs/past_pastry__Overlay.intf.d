@@ -1,0 +1,1 @@
+lib/pastry/overlay.mli: Config Message Node Past_id Past_simnet Past_stdext

@@ -1,0 +1,1 @@
+lib/pastry/peer.ml: Format Past_id Past_simnet

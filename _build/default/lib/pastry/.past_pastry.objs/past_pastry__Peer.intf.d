@@ -1,0 +1,1 @@
+lib/pastry/peer.mli: Format Past_id Past_simnet

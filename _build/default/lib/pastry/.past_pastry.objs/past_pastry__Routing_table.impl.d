@@ -1,0 +1,1 @@
+lib/pastry/routing_table.ml: Array Config Format List Option Past_id Peer

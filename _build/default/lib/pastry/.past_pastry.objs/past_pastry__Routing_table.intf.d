@@ -1,0 +1,1 @@
+lib/pastry/routing_table.mli: Config Format Past_id Past_simnet Peer

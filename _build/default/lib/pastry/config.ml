@@ -1,0 +1,34 @@
+type t = {
+  b : int;
+  leaf_set_size : int;
+  neighborhood_size : int;
+  keepalive_period : float;
+  failure_timeout : float;
+  randomized_routing : bool;
+  randomize_bias : float;
+}
+
+let default =
+  {
+    b = 4;
+    leaf_set_size = 32;
+    neighborhood_size = 32;
+    keepalive_period = 500.0;
+    failure_timeout = 1500.0;
+    randomized_routing = false;
+    randomize_bias = 0.7;
+  }
+
+let validate t =
+  if t.b <> 1 && t.b <> 2 && t.b <> 4 && t.b <> 8 then
+    invalid_arg "Config: b must be 1, 2, 4 or 8";
+  if t.leaf_set_size < 2 || t.leaf_set_size mod 2 <> 0 then
+    invalid_arg "Config: leaf_set_size must be even and >= 2";
+  if t.neighborhood_size < 0 then invalid_arg "Config: neighborhood_size must be >= 0";
+  if t.keepalive_period <= 0.0 || t.failure_timeout <= 0.0 then
+    invalid_arg "Config: keepalive/failure periods must be positive";
+  if t.randomize_bias < 0.0 || t.randomize_bias > 1.0 then
+    invalid_arg "Config: randomize_bias must be in [0,1]"
+
+let rows t = Past_id.Id.node_bits / t.b
+let cols t = 1 lsl t.b

@@ -1,0 +1,34 @@
+(** Pastry configuration parameters (paper §2.2).
+
+    [b] controls the digit width: routing resolves one base-2^b digit
+    per hop, giving ⌈log_2^b N⌉ expected hops with (2^b − 1)·⌈log_2^b N⌉
+    routing-table entries. [leaf_set_size] is [l]: the l/2 numerically
+    closest nodes on each side; delivery survives up to ⌊l/2⌋ − 1
+    simultaneous adjacent failures. *)
+
+type t = {
+  b : int;  (** digit width in bits; 1, 2, 4 or 8. Typical 4. *)
+  leaf_set_size : int;  (** [l], even, typical 32. *)
+  neighborhood_size : int;  (** [M], size of the proximity neighborhood set, typical 32. *)
+  keepalive_period : float;  (** leaf-set keep-alive interval (sim time units). *)
+  failure_timeout : float;  (** period [T] after which an unresponsive node is presumed failed. *)
+  randomized_routing : bool;
+      (** §2.2 "Fault-tolerance": choose among suitable next hops at
+          random instead of deterministically. *)
+  randomize_bias : float;
+      (** probability of taking the best hop when randomizing; the rest
+          of the mass goes to the alternatives ("heavily biased towards
+          the best choice"). *)
+}
+
+val default : t
+(** b=4, l=32, M=32, keepalive 500, timeout 1500, deterministic. *)
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on out-of-range parameters. *)
+
+val rows : t -> int
+(** Number of routing-table rows for 128-bit nodeIds: 128/b. *)
+
+val cols : t -> int
+(** Entries per row: 2^b. *)

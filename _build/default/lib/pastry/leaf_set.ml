@@ -1,0 +1,133 @@
+module Id = Past_id.Id
+module Nat = Past_bignum.Nat
+
+(* Each side is kept sorted by ring distance from the own id, closest
+   first, with the distance cached alongside each entry (leaf-set
+   insertion is on the hot path of overlay construction). In a sparse
+   ring (< l live nodes) the same peer may legally appear on both
+   sides; [members] deduplicates. *)
+type entry = { peer : Peer.t; dist : string (* Id.cw_dist_key *) }
+
+type t = {
+  config : Config.t;
+  own : Id.t;
+  mutable smaller : entry list; (* by counterclockwise distance *)
+  mutable larger : entry list; (* by clockwise distance *)
+}
+
+let create ~config ~own =
+  Config.validate config;
+  { config; own; smaller = []; larger = [] }
+
+let half t = t.config.Config.leaf_set_size / 2
+
+(* Insert into a distance-sorted side, capped at l/2. Returns (list,
+   changed). *)
+let insert_side side entry ~cap =
+  let rec go acc n = function
+    | [] -> if n < cap then (List.rev (entry :: acc), true) else (List.rev acc, false)
+    | e :: rest ->
+      if e.peer.Peer.addr = entry.peer.Peer.addr then (List.rev_append acc (e :: rest), false)
+      else begin
+        let c = String.compare entry.dist e.dist in
+        let before = c < 0 || (c = 0 && Id.compare entry.peer.Peer.id e.peer.Peer.id < 0) in
+        if before then
+          let merged = List.rev_append acc (entry :: e :: rest) in
+          (List.filteri (fun i _ -> i < cap) merged, true)
+        else go (e :: acc) (n + 1) rest
+      end
+  in
+  go [] 0 side
+
+let add t (peer : Peer.t) =
+  if Id.equal peer.Peer.id t.own then false
+  else begin
+    let cap = half t in
+    let cw = { peer; dist = Id.cw_dist_key t.own peer.Peer.id } in
+    let ccw = { peer; dist = Id.cw_dist_key peer.Peer.id t.own } in
+    let larger', changed_l = insert_side t.larger cw ~cap in
+    let smaller', changed_s = insert_side t.smaller ccw ~cap in
+    t.larger <- larger';
+    t.smaller <- smaller';
+    changed_l || changed_s
+  end
+
+let remove_addr t addr =
+  let filter l = List.filter (fun e -> e.peer.Peer.addr <> addr) l in
+  let before = List.length t.smaller + List.length t.larger in
+  t.smaller <- filter t.smaller;
+  t.larger <- filter t.larger;
+  List.length t.smaller + List.length t.larger <> before
+
+let mem_addr t addr =
+  List.exists (fun e -> e.peer.Peer.addr = addr) t.smaller
+  || List.exists (fun e -> e.peer.Peer.addr = addr) t.larger
+
+let members t =
+  let tbl = Hashtbl.create 64 in
+  let collect e =
+    if not (Hashtbl.mem tbl e.peer.Peer.addr) then Hashtbl.replace tbl e.peer.Peer.addr e.peer
+  in
+  List.iter collect t.smaller;
+  List.iter collect t.larger;
+  Hashtbl.fold (fun _ p acc -> p :: acc) tbl []
+
+let smaller t = List.map (fun e -> e.peer) t.smaller
+let larger t = List.map (fun e -> e.peer) t.larger
+let size t = List.length (members t)
+let is_empty t = t.smaller = [] && t.larger = []
+
+let rec last = function
+  | [] -> None
+  | [ x ] -> Some x
+  | _ :: rest -> last rest
+
+let extreme_smaller t = Option.map (fun e -> e.peer) (last t.smaller)
+let extreme_larger t = Option.map (fun e -> e.peer) (last t.larger)
+
+let covers t key =
+  (* A side with spare capacity means we know every node on that side,
+     so the leaf set effectively spans the whole ring. *)
+  let cap = half t in
+  if List.length t.smaller < cap || List.length t.larger < cap then true
+  else begin
+    match (last t.smaller, last t.larger) with
+    | Some lo, Some hi ->
+      (* Arc from lo clockwise to hi passes through own: the key is in
+         range iff its clockwise offset from lo does not exceed the
+         arc length, which is lo's ccw distance + hi's cw distance. *)
+      Id.dist_key_le_sum (Id.cw_dist_key lo.peer.Peer.id key) lo.dist hi.dist
+    | _ -> true
+  end
+
+let closest_to t key =
+  let better best e =
+    match best with
+    | None -> Some e.peer
+    | Some q -> if Id.closer ~target:key e.peer.Peer.id q.Peer.id < 0 then Some e.peer else Some q
+  in
+  List.fold_left better (List.fold_left better None t.smaller) t.larger
+
+let closest_including_self t key =
+  match closest_to t key with
+  | None -> `Self
+  | Some p -> if Id.closer ~target:key t.own p.Peer.id <= 0 then `Self else `Peer p
+
+let replica_set t ~k key =
+  if k <= 0 then invalid_arg "Leaf_set.replica_set: k must be positive";
+  let entries = `Self :: List.map (fun p -> `Peer p) (members t) in
+  let id_of = function `Self -> t.own | `Peer p -> p.Peer.id in
+  let sorted =
+    List.sort (fun a b -> Id.closer ~target:key (id_of a) (id_of b)) entries
+  in
+  List.filteri (fun i _ -> i < k) sorted
+
+let pp fmt t =
+  let pp_side name side =
+    Format.fprintf fmt "  %s:" name;
+    List.iter (fun e -> Format.fprintf fmt " %a" Peer.pp e.peer) side;
+    Format.fprintf fmt "@."
+  in
+  Format.fprintf fmt "leaf set of %s@." (Id.short t.own);
+  pp_side "smaller" t.smaller;
+  pp_side "larger " t.larger

@@ -1,0 +1,56 @@
+(** Pastry leaf set (paper §2.2): the l/2 nodes with numerically
+    closest larger nodeIds and the l/2 with numerically closest smaller
+    nodeIds, relative to the present node, wrapping around the circular
+    128-bit id space.
+
+    The leaf set determines (a) the final routing step — if the key
+    falls within leaf-set range the message goes directly to the
+    numerically closest member — and (b) PAST's replica set: a file is
+    stored on the k nodes closest to its fileId, all of which lie in the
+    root's leaf set for k <= l/2. *)
+
+type t
+
+val create : config:Config.t -> own:Past_id.Id.t -> t
+
+val add : t -> Peer.t -> bool
+(** Offer a peer; inserted on whichever side(s) it is among the l/2
+    closest. Returns [true] if membership changed. *)
+
+val remove_addr : t -> Past_simnet.Net.addr -> bool
+val mem_addr : t -> Past_simnet.Net.addr -> bool
+
+val members : t -> Peer.t list
+(** Distinct members, no particular order (self excluded). *)
+
+val smaller : t -> Peer.t list
+(** Counterclockwise side, closest first. *)
+
+val larger : t -> Peer.t list
+(** Clockwise side, closest first. *)
+
+val size : t -> int
+val is_empty : t -> bool
+
+val covers : t -> Past_id.Id.t -> bool
+(** Is the key within the arc spanned by the leaf set (through the own
+    id)? When a side has fewer than l/2 members the node has global
+    knowledge of that side, and coverage is reported accordingly. *)
+
+val closest_to : t -> Past_id.Id.t -> Peer.t option
+(** Member (self excluded) numerically closest to the key; [None] if
+    empty. *)
+
+val closest_including_self : t -> Past_id.Id.t -> [ `Self | `Peer of Peer.t ]
+(** Numerically closest among members and the own id. *)
+
+val replica_set : t -> k:int -> Past_id.Id.t -> [ `Self | `Peer of Peer.t ] list
+(** The [k] nodes (members + self) numerically closest to the key,
+    closest first — PAST's replica set for a fileId rooted here. *)
+
+val extreme_smaller : t -> Peer.t option
+(** Farthest member on the smaller side. *)
+
+val extreme_larger : t -> Peer.t option
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,36 @@
+type 'a routed = {
+  key : Past_id.Id.t;
+  origin : Peer.t;
+  sender : Peer.t;
+  hops : int;
+  dist : float;
+  path : Past_simnet.Net.addr list;
+  payload : 'a routed_payload;
+}
+
+and 'a routed_payload = Join_request | App of 'a
+
+type 'a t =
+  | Routed of 'a routed
+  | Join_rows of { from : Peer.t; rows : (int * Peer.t list) list }
+  | Join_leaf of { from : Peer.t; smaller : Peer.t list; larger : Peer.t list }
+  | Nbhd_reply of { from : Peer.t; peers : Peer.t list }
+  | Announce of { from : Peer.t }
+  | Keepalive of { from : Peer.t }
+  | Keepalive_ack of { from : Peer.t }
+  | Leaf_request of { from : Peer.t }
+  | Leaf_reply of { from : Peer.t; smaller : Peer.t list; larger : Peer.t list }
+  | Direct of { from : Peer.t; payload : 'a }
+
+let describe = function
+  | Routed { payload = Join_request; _ } -> "routed/join"
+  | Routed { payload = App _; _ } -> "routed/app"
+  | Join_rows _ -> "join_rows"
+  | Join_leaf _ -> "join_leaf"
+  | Nbhd_reply _ -> "nbhd_reply"
+  | Announce _ -> "announce"
+  | Keepalive _ -> "keepalive"
+  | Keepalive_ack _ -> "keepalive_ack"
+  | Leaf_request _ -> "leaf_request"
+  | Leaf_reply _ -> "leaf_reply"
+  | Direct _ -> "direct"

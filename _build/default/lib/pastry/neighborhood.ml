@@ -1,0 +1,34 @@
+module Id = Past_id.Id
+
+type entry = { peer : Peer.t; proximity : float }
+
+type t = { config : Config.t; own : Id.t; mutable entries : entry list (* closest first *) }
+
+let create ~config ~own =
+  Config.validate config;
+  { config; own; entries = [] }
+
+let add t ~proximity (peer : Peer.t) =
+  if Id.equal peer.Peer.id t.own then false
+  else if List.exists (fun e -> e.peer.Peer.addr = peer.Peer.addr) t.entries then false
+  else begin
+    let cap = t.config.Config.neighborhood_size in
+    let rec ins = function
+      | [] -> [ { peer; proximity } ]
+      | e :: rest ->
+        if proximity < e.proximity then { peer; proximity } :: e :: rest else e :: ins rest
+    in
+    let entries = ins t.entries in
+    let trimmed = List.filteri (fun i _ -> i < cap) entries in
+    let changed = List.exists (fun e -> e.peer.Peer.addr = peer.Peer.addr) trimmed in
+    t.entries <- trimmed;
+    changed
+  end
+
+let remove_addr t addr =
+  let before = List.length t.entries in
+  t.entries <- List.filter (fun e -> e.peer.Peer.addr <> addr) t.entries;
+  List.length t.entries <> before
+
+let members t = List.map (fun e -> e.peer) t.entries
+let size t = List.length t.entries

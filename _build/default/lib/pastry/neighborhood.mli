@@ -1,0 +1,15 @@
+(** Pastry neighborhood set: the M nodes closest to the present node
+    according to the proximity metric (paper §2.2). Not used for
+    routing; it seeds locality during joins and repairs. *)
+
+type t
+
+val create : config:Config.t -> own:Past_id.Id.t -> t
+
+val add : t -> proximity:float -> Peer.t -> bool
+(** Offer a peer with its measured proximity; kept if among the M
+    closest. Returns [true] if membership changed. *)
+
+val remove_addr : t -> Past_simnet.Net.addr -> bool
+val members : t -> Peer.t list
+val size : t -> int

@@ -1,0 +1,429 @@
+module Id = Past_id.Id
+module Net = Past_simnet.Net
+module Rng = Past_stdext.Rng
+
+(* Tracing: enable with Logs.Src.set_level (e.g. in an example or a
+   debug session) — the hot paths only format when the level is on. *)
+let log_src = Logs.Src.create "past.pastry" ~doc:"Pastry overlay protocol events"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type route_info = { hops : int; dist : float; path : Net.addr list }
+
+type 'a app = {
+  deliver : key:Id.t -> 'a -> route_info -> unit;
+  forward : key:Id.t -> 'a -> route_info -> [ `Continue | `Stop ];
+  on_direct : from:Peer.t -> 'a -> unit;
+  on_leaf_change : unit -> unit;
+}
+
+type 'a t = {
+  net : 'a Message.t Net.t;
+  config : Config.t;
+  rng : Rng.t;
+  self : Peer.t;
+  rt : Routing_table.t;
+  leaf : Leaf_set.t;
+  nbhd : Neighborhood.t;
+  mutable app : 'a app option;
+  mutable joined : bool;
+  mutable maintenance : bool;
+  mutable malicious : bool;
+  pending_acks : (Net.addr, float) Hashtbl.t; (* addr -> failure deadline *)
+  mutable fwd_count : int;
+  mutable ctl_count : int;
+}
+
+let self t = t.self
+let net t = t.net
+let id t = t.self.Peer.id
+let addr t = t.self.Peer.addr
+let config t = t.config
+let routing_table t = t.rt
+let leaf_set t = t.leaf
+let neighborhood t = t.nbhd
+let joined t = t.joined
+let set_app t app = t.app <- Some app
+let set_malicious t flag = t.malicious <- flag
+let malicious t = t.malicious
+let messages_forwarded t = t.fwd_count
+let control_messages t = t.ctl_count
+
+let reset_counters t =
+  t.fwd_count <- 0;
+  t.ctl_count <- 0
+
+let proximity_to t peer_addr = Net.proximity t.net t.self.Peer.addr peer_addr
+
+let tell t dst msg =
+  (match msg with
+  | Message.Routed { payload = Message.App _; _ } | Message.Direct _ -> ()
+  | _ -> t.ctl_count <- t.ctl_count + 1);
+  Net.send t.net ~src:t.self.Peer.addr ~dst msg
+
+let fire_leaf_change t = match t.app with Some a -> a.on_leaf_change () | None -> ()
+
+let learn t (peer : Peer.t) =
+  if peer.Peer.addr <> t.self.Peer.addr && not (Id.equal peer.Peer.id t.self.Peer.id) then begin
+    let leaf_changed = Leaf_set.add t.leaf peer in
+    ignore (Routing_table.consider t.rt ~proximity:(proximity_to t) peer);
+    ignore (Neighborhood.add t.nbhd ~proximity:(proximity_to t peer.Peer.addr) peer);
+    if leaf_changed then fire_leaf_change t
+  end
+
+let known_peers t =
+  let tbl = Hashtbl.create 64 in
+  let collect p = if not (Hashtbl.mem tbl p.Peer.addr) then Hashtbl.replace tbl p.Peer.addr p in
+  List.iter collect (Leaf_set.members t.leaf);
+  List.iter collect (Routing_table.peers t.rt);
+  List.iter collect (Neighborhood.members t.nbhd);
+  Hashtbl.fold (fun _ p acc -> p :: acc) tbl []
+
+(* --- failure handling ------------------------------------------------ *)
+
+let declare_failed t failed_addr =
+  Log.debug (fun m ->
+      m "%s declares node@%d failed" (Id.short t.self.Peer.id) failed_addr);
+  Hashtbl.remove t.pending_acks failed_addr;
+  let was_smaller = List.exists (fun p -> p.Peer.addr = failed_addr) (Leaf_set.smaller t.leaf) in
+  let was_larger = List.exists (fun p -> p.Peer.addr = failed_addr) (Leaf_set.larger t.leaf) in
+  let leaf_changed = Leaf_set.remove_addr t.leaf failed_addr in
+  ignore (Routing_table.remove_addr t.rt failed_addr);
+  ignore (Neighborhood.remove_addr t.nbhd failed_addr);
+  if leaf_changed then begin
+    (* Repair: ask the live extreme node on the failed side for its
+       leaf set; the overlap of adjacent leaf sets restores the
+       invariant (§2.2 "Node addition and failure"). *)
+    let ask peer = tell t peer.Peer.addr (Message.Leaf_request { from = t.self }) in
+    if was_smaller then Option.iter ask (Leaf_set.extreme_smaller t.leaf);
+    if was_larger then Option.iter ask (Leaf_set.extreme_larger t.leaf);
+    fire_leaf_change t
+  end
+
+(* A peer is usable as a next hop only if currently reachable. In the
+   simulator this models the per-hop timeout-and-retry of a real
+   deployment: a dead hop is eventually detected by the sender, removed
+   from its tables (lazy repair) and routing retried; we fold that loop
+   into one step. *)
+let usable t peer =
+  if Net.alive t.net peer.Peer.addr then true
+  else begin
+    declare_failed t peer.Peer.addr;
+    false
+  end
+
+(* --- routing ---------------------------------------------------------- *)
+
+type 'a hop = Deliver | Forward of Peer.t
+
+let shared_prefix t key = Id.shared_prefix_digits ~b:t.config.Config.b t.self.Peer.id key
+
+(* Candidates that preserve the loop-freedom invariant (§2.2): share at
+   least as long a prefix with the key as we do, and are numerically
+   closer to it. *)
+let rare_case_candidates t key p0 =
+  let b = t.config.Config.b in
+  List.filter
+    (fun (c : Peer.t) ->
+      Id.shared_prefix_digits ~b c.Peer.id key >= p0
+      && Id.closer ~target:key c.Peer.id t.self.Peer.id < 0
+      && usable t c)
+    (known_peers t)
+
+let best_candidate t key candidates =
+  let b = t.config.Config.b in
+  let better (x : Peer.t) (y : Peer.t) =
+    let px = Id.shared_prefix_digits ~b x.Peer.id key
+    and py = Id.shared_prefix_digits ~b y.Peer.id key in
+    if px <> py then px > py else Id.closer ~target:key x.Peer.id y.Peer.id < 0
+  in
+  match candidates with
+  | [] -> None
+  | first :: rest -> Some (List.fold_left (fun acc c -> if better c acc then c else acc) first rest)
+
+let next_hop t key : 'a hop =
+  (* Use-time filtering of dead members keeps decisions sound between a
+     failure and its detection by keep-alives: pruning a dead member and
+     retrying folds the real per-hop timeout loop into one step. *)
+  let rec leaf_step () =
+    if Leaf_set.covers t.leaf key then begin
+      match Leaf_set.closest_including_self t.leaf key with
+      | `Self -> Some Deliver
+      | `Peer p -> if usable t p then Some (Forward p) else leaf_step ()
+    end
+    else None
+  in
+  if Id.equal key t.self.Peer.id then Deliver
+  else begin
+    match leaf_step () with
+    | Some hop -> hop
+    | None ->
+    let p0 = shared_prefix t key in
+    if t.config.Config.randomized_routing then begin
+      let candidates = rare_case_candidates t key p0 in
+      match candidates with
+      | [] -> Deliver
+      | _ -> (
+        match best_candidate t key candidates with
+        | Some best
+          when Rng.chance t.rng t.config.Config.randomize_bias || List.length candidates = 1 ->
+          Forward best
+        | Some best -> (
+          let others = List.filter (fun c -> not (Peer.equal c best)) candidates in
+          match others with [] -> Forward best | _ -> Forward (Rng.pick_list t.rng others))
+        | None -> Deliver)
+    end
+    else begin
+      match Routing_table.next_hop t.rt ~key with
+      | Some p when usable t p -> Forward p
+      | Some _ | None -> (
+        (* Rare case: no routing-table entry; fall back to any known
+           node with an equal-or-longer prefix that is numerically
+           closer (guaranteed to exist unless ⌊l/2⌋ adjacent leaf-set
+           nodes failed simultaneously). *)
+        match best_candidate t key (rare_case_candidates t key p0) with
+        | Some p -> Forward p
+        | None -> Deliver)
+    end
+  end
+
+let route_info (r : 'a Message.routed) =
+  { hops = r.Message.hops; dist = r.Message.dist; path = r.Message.path }
+
+let do_deliver t (r : 'a Message.routed) =
+  match r.Message.payload with
+  | Message.Join_request ->
+    (* We are Z, the numerically closest node: hand the joiner our leaf
+       set (it becomes the basis of theirs) and our relevant rows. *)
+    let joiner = r.Message.origin in
+    let p = Id.shared_prefix_digits ~b:t.config.Config.b t.self.Peer.id joiner.Peer.id in
+    let p = Stdlib.min p (Config.rows t.config - 1) in
+    let rows = List.init (p + 1) (fun i -> (i, Routing_table.row_peers t.rt i)) in
+    tell t joiner.Peer.addr (Message.Join_rows { from = t.self; rows });
+    tell t joiner.Peer.addr
+      (Message.Join_leaf
+         { from = t.self; smaller = Leaf_set.smaller t.leaf; larger = Leaf_set.larger t.leaf })
+  | Message.App payload -> (
+    match t.app with
+    | Some a -> a.deliver ~key:r.Message.key payload (route_info r)
+    | None -> ())
+
+let contribute_join_rows t (r : 'a Message.routed) =
+  let joiner = r.Message.origin in
+  if joiner.Peer.addr <> t.self.Peer.addr then begin
+    let p = Id.shared_prefix_digits ~b:t.config.Config.b t.self.Peer.id joiner.Peer.id in
+    let p = Stdlib.min p (Config.rows t.config - 1) in
+    (* Rows 0..p of this node are all valid rows 0..p for the joiner,
+       since the two ids agree on the first p digits. One message keeps
+       the join cost at O(log N) messages. *)
+    let rows = List.init (p + 1) (fun i -> (i, Routing_table.row_peers t.rt i)) in
+    tell t joiner.Peer.addr (Message.Join_rows { from = t.self; rows });
+    if r.Message.hops = 0 then
+      (* We are the bootstrap node A, assumed near the joiner: seed its
+         neighborhood set from ours (§2.2 "Node addition"). *)
+      tell t joiner.Peer.addr
+        (Message.Nbhd_reply { from = t.self; peers = Neighborhood.members t.nbhd })
+  end
+
+let handle_routed t (r : 'a Message.routed) =
+  if not t.malicious then begin
+    t.fwd_count <- t.fwd_count + 1;
+    match next_hop t r.Message.key with
+    | Deliver -> do_deliver t r
+    | Forward next ->
+      let decision =
+        match r.Message.payload with
+        | Message.Join_request ->
+          contribute_join_rows t r;
+          `Continue
+        | Message.App payload -> (
+          match t.app with
+          | Some a -> a.forward ~key:r.Message.key payload (route_info r)
+          | None -> `Continue)
+      in
+      if decision = `Continue then begin
+        let hop_dist = proximity_to t next.Peer.addr in
+        tell t next.Peer.addr
+          (Message.Routed
+             {
+               r with
+               Message.sender = t.self;
+               hops = r.Message.hops + 1;
+               dist = r.Message.dist +. hop_dist;
+               path = next.Peer.addr :: r.Message.path;
+             })
+      end
+  end
+
+let announce t =
+  List.iter (fun p -> tell t p.Peer.addr (Message.Announce { from = t.self })) (known_peers t)
+
+let handle t _src msg =
+  match msg with
+  | Message.Routed r ->
+    (* A joiner in flight must not enter anyone's tables yet: learning
+       it would make the leaf set route the join straight back to the
+       (still stateless) joiner instead of to Z. It announces itself
+       once it has joined. *)
+    (match r.Message.payload with
+    | Message.Join_request ->
+      if r.Message.sender.Peer.addr <> r.Message.origin.Peer.addr then learn t r.Message.sender
+    | Message.App _ ->
+      learn t r.Message.sender;
+      learn t r.Message.origin);
+    handle_routed t r
+  | Message.Join_rows { from; rows } ->
+    learn t from;
+    List.iter (fun (_, peers) -> List.iter (learn t) peers) rows
+  | Message.Join_leaf { from; smaller; larger } ->
+    learn t from;
+    List.iter (learn t) smaller;
+    List.iter (learn t) larger;
+    if not t.joined then begin
+      Log.info (fun m ->
+          m "%s joined (leaf set seeded by %s)" (Id.short t.self.Peer.id)
+            (Id.short from.Peer.id));
+      t.joined <- true;
+      (* Notify every node that needs to know of our arrival, restoring
+         Pastry's invariants (§2.2). *)
+      announce t
+    end
+  | Message.Nbhd_reply { from; peers } ->
+    learn t from;
+    List.iter (learn t) peers
+  | Message.Announce { from } -> learn t from
+  | Message.Keepalive { from } ->
+    learn t from;
+    tell t from.Peer.addr (Message.Keepalive_ack { from = t.self })
+  | Message.Keepalive_ack { from } ->
+    Hashtbl.remove t.pending_acks from.Peer.addr;
+    learn t from
+  | Message.Leaf_request { from } ->
+    learn t from;
+    tell t from.Peer.addr
+      (Message.Leaf_reply
+         { from = t.self; smaller = Leaf_set.smaller t.leaf; larger = Leaf_set.larger t.leaf })
+  | Message.Leaf_reply { from; smaller; larger } ->
+    learn t from;
+    List.iter (learn t) smaller;
+    List.iter (learn t) larger
+  | Message.Direct { from; payload } -> (
+    learn t from;
+    match t.app with Some a -> a.on_direct ~from payload | None -> ())
+
+let create ~net ~config ~rng ~id () =
+  Config.validate config;
+  let node_ref = ref None in
+  let handler src msg = match !node_ref with Some n -> handle n src msg | None -> () in
+  let addr = Net.register net ~handler in
+  let self = Peer.make ~id ~addr in
+  let t =
+    {
+      net;
+      config;
+      rng;
+      self;
+      rt = Routing_table.create ~config ~own:id;
+      leaf = Leaf_set.create ~config ~own:id;
+      nbhd = Neighborhood.create ~config ~own:id;
+      app = None;
+      joined = true (* a lone node is a complete overlay of size one *);
+      maintenance = false;
+      malicious = false;
+      pending_acks = Hashtbl.create 16;
+      fwd_count = 0;
+      ctl_count = 0;
+    }
+  in
+  node_ref := Some t;
+  t
+
+let state_size t =
+  Routing_table.entry_count t.rt
+  + List.length (Leaf_set.smaller t.leaf)
+  + List.length (Leaf_set.larger t.leaf)
+  + Neighborhood.size t.nbhd
+
+let join t ~bootstrap =
+  if bootstrap = t.self.Peer.addr then invalid_arg "Node.join: cannot bootstrap from self";
+  Log.info (fun m -> m "%s joining via node@%d" (Id.short t.self.Peer.id) bootstrap);
+  t.joined <- false;
+  tell t bootstrap
+    (Message.Routed
+       {
+         key = t.self.Peer.id;
+         origin = t.self;
+         sender = t.self;
+         hops = 0;
+         dist = 0.0;
+         path = [ t.self.Peer.addr ];
+         payload = Message.Join_request;
+       })
+
+let route t ~key payload =
+  let r =
+    {
+      Message.key;
+      origin = t.self;
+      sender = t.self;
+      hops = 0;
+      dist = 0.0;
+      path = [ t.self.Peer.addr ];
+      payload = Message.App payload;
+    }
+  in
+  handle_routed t r
+
+let send_direct t ~dst payload =
+  if dst.Peer.addr = t.self.Peer.addr then begin
+    match t.app with Some a -> a.on_direct ~from:t.self payload | None -> ()
+  end
+  else tell t dst.Peer.addr (Message.Direct { from = t.self; payload })
+
+let deliver_local t ~key payload =
+  match t.app with
+  | Some a -> a.deliver ~key payload { hops = 0; dist = 0.0; path = [ t.self.Peer.addr ] }
+  | None -> ()
+
+let check_failures t =
+  let now = Net.now t.net in
+  let expired =
+    Hashtbl.fold (fun a deadline acc -> if deadline < now then a :: acc else acc) t.pending_acks []
+  in
+  List.iter (declare_failed t) expired
+
+let maintenance_tick t =
+  if Net.alive t.net t.self.Peer.addr then begin
+    check_failures t;
+    List.iter
+      (fun (m : Peer.t) ->
+        if not (Hashtbl.mem t.pending_acks m.Peer.addr) then
+          Hashtbl.replace t.pending_acks m.Peer.addr
+            (Net.now t.net +. t.config.Config.failure_timeout);
+        tell t m.Peer.addr (Message.Keepalive { from = t.self }))
+      (Leaf_set.members t.leaf)
+  end
+
+let start_maintenance t =
+  if not t.maintenance then begin
+    t.maintenance <- true;
+    let rec tick () =
+      if t.maintenance then begin
+        maintenance_tick t;
+        Net.schedule t.net ~delay:t.config.Config.keepalive_period tick
+      end
+    in
+    (* Desynchronise nodes' timers. *)
+    Net.schedule t.net ~delay:(Rng.float t.rng t.config.Config.keepalive_period) tick
+  end
+
+let stop_maintenance t = t.maintenance <- false
+
+let recover t =
+  (* A recovering node contacts its last known leaf set, refreshes its
+     own leaf set from theirs, and announces its presence (§2.2). *)
+  Hashtbl.reset t.pending_acks;
+  List.iter
+    (fun (m : Peer.t) -> tell t m.Peer.addr (Message.Leaf_request { from = t.self }))
+    (Leaf_set.members t.leaf);
+  announce t

@@ -1,0 +1,304 @@
+module Id = Past_id.Id
+module Net = Past_simnet.Net
+module Rng = Past_stdext.Rng
+module Topology = Past_simnet.Topology
+
+type 'a t = {
+  net : 'a Message.t Net.t;
+  config : Config.t;
+  rng : Rng.t;
+  mutable nodes_rev : 'a Node.t list; (* newest first *)
+  mutable count : int;
+  mutable nodes_cache : 'a Node.t array option;
+  by_addr : (Net.addr, 'a Node.t) Hashtbl.t;
+  mutable sorted : 'a Node.t array; (* by id; rebuilt lazily *)
+  mutable sorted_valid : bool;
+}
+
+let create ?(config = Config.default) ?topology ?(loss_rate = 0.0) ~seed () =
+  Config.validate config;
+  let rng = Rng.create seed in
+  let topology = match topology with Some t -> t | None -> Topology.plane () in
+  let net = Net.create ~loss_rate ~rng:(Rng.split rng) ~topology () in
+  {
+    net;
+    config;
+    rng;
+    nodes_rev = [];
+    count = 0;
+    nodes_cache = None;
+    by_addr = Hashtbl.create 1024;
+    sorted = [||];
+    sorted_valid = true;
+  }
+
+let net t = t.net
+let config t = t.config
+let rng t = t.rng
+
+let nodes t =
+  match t.nodes_cache with
+  | Some a -> a
+  | None ->
+    let a = Array.of_list (List.rev t.nodes_rev) in
+    t.nodes_cache <- Some a;
+    a
+
+let node_count t = t.count
+
+let node_by_addr t addr =
+  match Hashtbl.find_opt t.by_addr addr with
+  | Some n -> n
+  | None -> invalid_arg (Printf.sprintf "Overlay.node_by_addr: unknown address %d" addr)
+
+let add_node_with_id t ~id =
+  let node = Node.create ~net:t.net ~config:t.config ~rng:(Rng.split t.rng) ~id () in
+  t.nodes_rev <- node :: t.nodes_rev;
+  t.count <- t.count + 1;
+  t.nodes_cache <- None;
+  Hashtbl.replace t.by_addr (Node.addr node) node;
+  t.sorted_valid <- false;
+  node
+
+let add_node t = add_node_with_id t ~id:(Id.random t.rng ~width:Id.node_bits)
+
+let sorted_nodes t =
+  if not t.sorted_valid then begin
+    let s = Array.copy (nodes t) in
+    Array.sort (fun a b -> Id.compare (Node.id a) (Node.id b)) s;
+    t.sorted <- s;
+    t.sorted_valid <- true
+  end;
+  t.sorted
+
+let alive t node = Net.alive t.net (Node.addr node)
+let live_nodes t = List.filter (alive t) (List.rev t.nodes_rev)
+
+let random_node t =
+  let a = nodes t in
+  a.(Rng.int t.rng (Array.length a))
+
+let random_live_node t =
+  let live = Array.of_list (live_nodes t) in
+  if Array.length live = 0 then invalid_arg "Overlay.random_live_node: no live nodes";
+  live.(Rng.int t.rng (Array.length live))
+
+(* The k circularly-nearest live nodes lie among the k nearest live
+   nodes in each ring direction from the key's insertion point, so
+   collect k live per side and sort by circular distance. *)
+let nearest_live t key ~k =
+  let s = sorted_nodes t in
+  let n = Array.length s in
+  if n = 0 then invalid_arg "Overlay.nearest_live: empty overlay";
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Id.compare (Node.id s.(mid)) key < 0 then lo := mid + 1 else hi := mid
+  done;
+  let candidates = Hashtbl.create (4 * k) in
+  let collect start step =
+    let found = ref 0 and visited = ref 0 and idx = ref start in
+    while !found < k && !visited < n do
+      let i = ((!idx mod n) + n) mod n in
+      let node = s.(i) in
+      if alive t node then begin
+        if not (Hashtbl.mem candidates (Node.addr node)) then
+          Hashtbl.replace candidates (Node.addr node) node;
+        incr found
+      end;
+      idx := !idx + step;
+      incr visited
+    done
+  in
+  collect !lo 1;
+  collect (!lo - 1) (-1);
+  Hashtbl.fold (fun _ node acc -> node :: acc) candidates []
+  |> List.sort (fun a b -> Id.closer ~target:key (Node.id a) (Node.id b))
+  |> List.filteri (fun i _ -> i < k)
+
+let closest_live_node t key =
+  match nearest_live t key ~k:1 with
+  | [ n ] -> n
+  | _ -> invalid_arg "Overlay.closest_live_node: no live nodes"
+
+let sorted_neighbours t key ~k = nearest_live t key ~k
+
+let install_apps t make_app = Array.iter (fun n -> Node.set_app n (make_app n)) (nodes t)
+
+(* --- static construction --------------------------------------------- *)
+
+(* Inclusive id bounds of the prefix "first [r] digits of [id], then
+   digit [col]" — the candidate range for routing cell (r, col). *)
+let prefix_bounds ~b id r col =
+  let nbytes = Id.node_bits / 8 in
+  let per_byte = 8 / b in
+  let lo = Bytes.make nbytes '\000' and hi = Bytes.make nbytes '\255' in
+  let raw = Id.to_bytes id in
+  let full_bytes = r / per_byte in
+  Bytes.blit raw 0 lo 0 full_bytes;
+  Bytes.blit raw 0 hi 0 full_bytes;
+  (* Byte containing digit r: keep the digits above slot, set slot=col,
+     then 0s (lo) / 1s (hi). *)
+  let slot = r mod per_byte in
+  let v = Char.code (Bytes.get raw full_bytes) in
+  let keep_bits = slot * b in
+  let keep_mask = if keep_bits = 0 then 0 else lnot ((1 lsl (8 - keep_bits)) - 1) land 0xFF in
+  let kept = v land keep_mask in
+  let col_shift = 8 - keep_bits - b in
+  let lo_byte = kept lor (col lsl col_shift) in
+  let hi_byte = lo_byte lor ((1 lsl col_shift) - 1) in
+  Bytes.set lo full_bytes (Char.chr lo_byte);
+  Bytes.set hi full_bytes (Char.chr hi_byte);
+  (Id.of_bytes lo, Id.of_bytes hi)
+
+let range_of t lo hi =
+  let s = sorted_nodes t in
+  let n = Array.length s in
+  let lower key =
+    let a = ref 0 and b = ref n in
+    while !a < !b do
+      let mid = (!a + !b) / 2 in
+      if Id.compare (Node.id s.(mid)) key < 0 then a := mid + 1 else b := mid
+    done;
+    !a
+  in
+  let upper key =
+    let a = ref 0 and b = ref n in
+    while !a < !b do
+      let mid = (!a + !b) / 2 in
+      if Id.compare (Node.id s.(mid)) key <= 0 then a := mid + 1 else b := mid
+    done;
+    !a
+  in
+  (lower lo, upper hi)
+
+let populate_static ?(locality = true) ?(rt_samples = 8) t =
+  let s = sorted_nodes t in
+  let total = Array.length s in
+  let b = t.config.Config.b in
+  let half = t.config.Config.leaf_set_size / 2 in
+  Array.iteri
+    (fun i node ->
+      (* Exact leaf set from ring order. *)
+      for d = 1 to Stdlib.min half (total - 1) do
+        Node.learn node (Node.self s.((i + d) mod total));
+        Node.learn node (Node.self s.(((i - d) mod total + total) mod total))
+      done;
+      (* Routing table: per cell, proximity-closest of a candidate
+         sample (or uniform when locality is off). *)
+      let id = Node.id node in
+      let continue = ref true in
+      let row = ref 0 in
+      while !continue && !row < Config.rows t.config do
+        let own_digit = Id.digit ~b id !row in
+        let row_has_peers = ref false in
+        for col = 0 to Config.cols t.config - 1 do
+          if col <> own_digit then begin
+            let lo, hi = prefix_bounds ~b id !row col in
+            let lo_i, hi_i = range_of t lo hi in
+            let size = hi_i - lo_i in
+            if size > 0 then begin
+              row_has_peers := true;
+              let pick () = s.(lo_i + Rng.int t.rng size) in
+              let chosen =
+                if not locality then pick ()
+                else begin
+                  let best = ref (pick ()) in
+                  let best_d =
+                    ref (Net.proximity t.net (Node.addr node) (Node.addr !best))
+                  in
+                  for _ = 2 to Stdlib.min rt_samples size do
+                    let c = pick () in
+                    let d = Net.proximity t.net (Node.addr node) (Node.addr c) in
+                    if d < !best_d then begin
+                      best := c;
+                      best_d := d
+                    end
+                  done;
+                  !best
+                end
+              in
+              if locality then
+                ignore
+                  (Routing_table.consider (Node.routing_table node)
+                     ~proximity:(fun a -> Net.proximity t.net (Node.addr node) a)
+                     (Node.self chosen))
+              else
+                ignore (Routing_table.consider_no_proximity (Node.routing_table node) (Node.self chosen))
+            end
+          end
+        done;
+        (* Stop once no other node shares this row's prefix: deeper rows
+           are necessarily empty. *)
+        let lo, hi = prefix_bounds ~b id !row own_digit in
+        let lo_i, hi_i = range_of t lo hi in
+        if hi_i - lo_i <= 1 && not !row_has_peers then continue := false;
+        if hi_i - lo_i <= 1 then continue := false;
+        incr row
+      done;
+      (* Neighborhood: proximity-closest of a random sample. *)
+      let sample = Stdlib.min (4 * t.config.Config.neighborhood_size) (total - 1) in
+      for _ = 1 to sample do
+        let other = s.(Rng.int t.rng total) in
+        if Node.addr other <> Node.addr node then
+          ignore
+            (Neighborhood.add (Node.neighborhood node)
+               ~proximity:(Net.proximity t.net (Node.addr node) (Node.addr other))
+               (Node.self other))
+      done)
+    s
+
+let build_static ?locality ?rt_samples t ~n =
+  for _ = 1 to n do
+    ignore (add_node t)
+  done;
+  populate_static ?locality ?rt_samples t
+
+(* Join [node] through a bootstrap drawn from [existing] — nodes that
+   are already part of the overlay. The joiner contacts a nearby node
+   (§2.2): proximally closest of a random sample. *)
+let join_via ?(bootstrap_sample = 16) t node existing =
+    (match existing with
+    | [] -> () (* first node: an overlay of one *)
+    | _ ->
+      let candidates = Array.of_list existing in
+      let best = ref candidates.(Rng.int t.rng (Array.length candidates)) in
+      let best_d = ref (Net.proximity t.net (Node.addr node) (Node.addr !best)) in
+      for _ = 2 to Stdlib.min bootstrap_sample (Array.length candidates) do
+        let c = candidates.(Rng.int t.rng (Array.length candidates)) in
+        let d = Net.proximity t.net (Node.addr node) (Node.addr c) in
+        if d < !best_d then begin
+          best := c;
+          best_d := d
+        end
+      done;
+      Node.join node ~bootstrap:(Node.addr !best));
+    Net.run t.net
+
+let build_dynamic ?bootstrap_sample t ~n =
+  for _ = 1 to n do
+    let node = add_node t in
+    let existing = List.filter (fun m -> Node.addr m <> Node.addr node) t.nodes_rev in
+    join_via ?bootstrap_sample t node existing
+  done
+
+let join_all_dynamic ?bootstrap_sample t =
+  (* Nodes were pre-registered; only the ones already processed are
+     part of the overlay and eligible as bootstraps. *)
+  ignore
+    (List.fold_left
+       (fun joined node ->
+         join_via ?bootstrap_sample t node joined;
+         node :: joined)
+       []
+       (List.rev t.nodes_rev))
+
+let kill t node = Net.set_alive t.net (Node.addr node) false
+
+let revive t node =
+  Net.set_alive t.net (Node.addr node) true;
+  Node.recover node
+
+let run ?until t = Net.run ?until t.net
+let start_maintenance t = Array.iter Node.start_maintenance (nodes t)
+let stop_maintenance t = Array.iter Node.stop_maintenance (nodes t)

@@ -1,0 +1,83 @@
+(** Whole-overlay construction and instrumentation.
+
+    Two builders are provided. [build_dynamic] performs real
+    message-driven joins through the §2.2 protocol — this is what the
+    maintenance-cost and churn experiments exercise. [build_static]
+    constructs the same invariants directly from global knowledge
+    (exact leaf sets; routing-table cells filled with a
+    proximity-closest candidate), the standard technique for simulating
+    Pastry at 10^4–10^5 nodes; a test asserts both builders converge to
+    the same invariants. *)
+
+type 'a t
+
+val create :
+  ?config:Config.t ->
+  ?topology:Past_simnet.Topology.t ->
+  ?loss_rate:float ->
+  seed:int ->
+  unit ->
+  'a t
+
+val net : 'a t -> 'a Message.t Past_simnet.Net.t
+val config : 'a t -> Config.t
+val rng : 'a t -> Past_stdext.Rng.t
+
+val add_node : 'a t -> 'a Node.t
+(** Create a node with a random nodeId, registered on the network but
+    with empty tables and not joined to anything. *)
+
+val add_node_with_id : 'a t -> id:Past_id.Id.t -> 'a Node.t
+(** Same, with a caller-supplied nodeId (PAST derives nodeIds from
+    smartcard keys). *)
+
+val build_static : ?locality:bool -> ?rt_samples:int -> 'a t -> n:int -> unit
+(** Add [n] nodes and populate all nodes with globally consistent
+    state. [locality] (default true) selects the proximally closest of
+    [rt_samples] (default 8) candidates per routing cell, modelling
+    Pastry's locality heuristic; [locality:false] picks uniformly — the
+    "no network locality" (Chord-like) baseline. *)
+
+val populate_static : ?locality:bool -> ?rt_samples:int -> 'a t -> unit
+(** Populate the already-added nodes (see {!build_static}). *)
+
+val join_all_dynamic : ?bootstrap_sample:int -> 'a t -> unit
+(** Join every already-added node sequentially through the §2.2
+    protocol (see {!build_dynamic}). *)
+
+val build_dynamic : ?bootstrap_sample:int -> 'a t -> n:int -> unit
+(** Grow the overlay by [n] sequential joins, each bootstrapped from
+    the proximally closest of [bootstrap_sample] (default 16) existing
+    nodes (the paper assumes the joiner contacts a nearby node). Runs
+    the network to quiescence between joins. *)
+
+val install_apps : 'a t -> ('a Node.t -> 'a Node.app) -> unit
+(** Attach an application to every current node. *)
+
+val nodes : 'a t -> 'a Node.t array
+val node_count : 'a t -> int
+val node_by_addr : 'a t -> Past_simnet.Net.addr -> 'a Node.t
+val random_node : 'a t -> 'a Node.t
+val random_live_node : 'a t -> 'a Node.t
+val live_nodes : 'a t -> 'a Node.t list
+
+val closest_live_node : 'a t -> Past_id.Id.t -> 'a Node.t
+(** Ground truth: the live node whose id is numerically closest to the
+    key — what a correct route must reach. *)
+
+val sorted_neighbours : 'a t -> Past_id.Id.t -> k:int -> 'a Node.t list
+(** The [k] live nodes numerically closest to the key, closest first
+    (the ideal replica set). *)
+
+val kill : 'a t -> 'a Node.t -> unit
+(** Take the node off the network (silent departure). *)
+
+val revive : 'a t -> 'a Node.t -> unit
+(** Bring it back and run the recovery protocol. *)
+
+val run : ?until:float -> 'a t -> unit
+(** Drain the event queue (bounded by [until] when maintenance timers
+    are armed). *)
+
+val start_maintenance : 'a t -> unit
+val stop_maintenance : 'a t -> unit

@@ -1,0 +1,105 @@
+module Id = Past_id.Id
+
+type cell = { peer : Peer.t; proximity : float }
+
+type t = {
+  config : Config.t;
+  own : Id.t;
+  cells : cell option array array; (* rows × cols *)
+  mutable count : int;
+}
+
+let create ~config ~own =
+  Config.validate config;
+  {
+    config;
+    own;
+    cells = Array.make_matrix (Config.rows config) (Config.cols config) None;
+    count = 0;
+  }
+
+let position t id =
+  let b = t.config.Config.b in
+  let row = Id.shared_prefix_digits ~b t.own id in
+  if row >= Config.rows t.config then None (* id = own *)
+  else Some (row, Id.digit ~b id row)
+
+let lookup t ~row ~col =
+  if row < 0 || row >= Config.rows t.config || col < 0 || col >= Config.cols t.config then
+    invalid_arg "Routing_table.lookup: out of range";
+  Option.map (fun c -> c.peer) t.cells.(row).(col)
+
+let install t row col cell =
+  if t.cells.(row).(col) = None then t.count <- t.count + 1;
+  t.cells.(row).(col) <- Some cell
+
+let consider t ~proximity (peer : Peer.t) =
+  match position t peer.Peer.id with
+  | None -> false
+  | Some (row, col) -> (
+    match t.cells.(row).(col) with
+    | None ->
+      install t row col { peer; proximity = proximity peer.Peer.addr };
+      true
+    | Some incumbent when Peer.equal incumbent.peer peer -> false
+    | Some incumbent ->
+      let p = proximity peer.Peer.addr in
+      if p < incumbent.proximity then begin
+        install t row col { peer; proximity = p };
+        true
+      end
+      else false)
+
+let consider_no_proximity t (peer : Peer.t) =
+  match position t peer.Peer.id with
+  | None -> false
+  | Some (row, col) -> (
+    match t.cells.(row).(col) with
+    | None ->
+      install t row col { peer; proximity = 0.0 };
+      true
+    | Some _ -> false)
+
+let remove_addr t addr =
+  let changed = ref false in
+  Array.iter
+    (fun row ->
+      Array.iteri
+        (fun j cell ->
+          match cell with
+          | Some { peer; _ } when peer.Peer.addr = addr ->
+            row.(j) <- None;
+            t.count <- t.count - 1;
+            changed := true
+          | Some _ | None -> ())
+        row)
+    t.cells;
+  !changed
+
+let row_peers t i =
+  if i < 0 || i >= Config.rows t.config then invalid_arg "Routing_table.row_peers: out of range";
+  Array.to_list t.cells.(i)
+  |> List.filter_map (Option.map (fun c -> c.peer))
+
+let peers t =
+  Array.to_list t.cells
+  |> List.concat_map (fun row -> Array.to_list row |> List.filter_map (Option.map (fun c -> c.peer)))
+
+let entry_count t = t.count
+
+let next_hop t ~key =
+  match position t key with
+  | None -> None
+  | Some (row, col) -> lookup t ~row ~col
+
+let pp fmt t =
+  Format.fprintf fmt "routing table for %s (%d entries)@." (Id.short t.own) t.count;
+  Array.iteri
+    (fun i row ->
+      let filled = Array.to_list row |> List.filter_map (Option.map (fun c -> c.peer)) in
+      if filled <> [] then begin
+        Format.fprintf fmt "  row %2d:" i;
+        List.iter (fun p -> Format.fprintf fmt " %a" Peer.pp p) filled;
+        Format.fprintf fmt "@."
+      end)
+    t.cells

@@ -1,0 +1,43 @@
+(** Pastry routing table (paper §2.2).
+
+    Organised into ⌈128/b⌉ levels of 2^b − 1 entries each: the entries
+    at level [n] refer to nodes whose nodeId shares the first [n] digits
+    with the present node but differs in digit [n]. Among candidate
+    nodes for a cell, the one closest by the proximity metric is kept —
+    this is the source of Pastry's locality properties. *)
+
+type t
+
+val create : config:Config.t -> own:Past_id.Id.t -> t
+
+val lookup : t -> row:int -> col:int -> Peer.t option
+
+val consider : t -> proximity:(Past_simnet.Net.addr -> float) -> Peer.t -> bool
+(** Offer a peer. It is installed if its cell is empty or if it is
+    strictly closer (by [proximity]) than the incumbent. Returns [true]
+    if the table changed. Own id and malformed candidates are
+    ignored. *)
+
+val consider_no_proximity : t -> Peer.t -> bool
+(** Like {!consider} but keeps the first-seen entry (no locality
+    preference) — the "Chord-like, no network locality" baseline used in
+    the locality experiment. *)
+
+val remove_addr : t -> Past_simnet.Net.addr -> bool
+(** Drop every entry referring to a failed node. Returns [true] if any
+    cell changed. *)
+
+val row_peers : t -> int -> Peer.t list
+(** Live entries of one row (used during joins: the i-th node on the
+    join route contributes its row i). *)
+
+val peers : t -> Peer.t list
+(** All entries. *)
+
+val entry_count : t -> int
+
+val next_hop : t -> key:Past_id.Id.t -> Peer.t option
+(** The primary routing step: the entry at row = length of the shared
+    prefix with [key], column = [key]'s digit at that position. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/simnet/net.ml: Format Hashtbl Past_stdext Printf Stdlib Topology

@@ -1,0 +1,1 @@
+lib/simnet/topology.ml: Float Past_stdext Stdlib

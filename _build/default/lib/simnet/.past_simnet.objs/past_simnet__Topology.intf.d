@@ -1,0 +1,1 @@
+lib/simnet/topology.mli: Past_stdext

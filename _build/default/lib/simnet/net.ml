@@ -1,0 +1,141 @@
+module Rng = Past_stdext.Rng
+module Heap = Past_stdext.Heap
+
+type addr = int
+
+let pp_addr = Format.pp_print_int
+
+type 'msg event = { time : float; seq : int; action : 'msg action }
+
+and 'msg action =
+  | Deliver of { src : addr; dst : addr; msg : 'msg }
+  | Thunk of { owner : addr option; run : unit -> unit }
+
+type 'msg node = {
+  location : Topology.location;
+  handler : addr -> 'msg -> unit;
+  mutable up : bool;
+}
+
+type 'msg t = {
+  rng : Rng.t;
+  topology : Topology.t;
+  loss_rate : float;
+  latency_factor : float;
+  mutable clock : float;
+  mutable seq : int;
+  events : 'msg event Heap.t;
+  nodes : (addr, 'msg node) Hashtbl.t;
+  mutable next_addr : addr;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable send_tap : (src:addr -> dst:addr -> 'msg -> unit) option;
+}
+
+let create ?(loss_rate = 0.0) ?(latency_factor = 1.0) ~rng ~topology () =
+  if loss_rate < 0.0 || loss_rate >= 1.0 then invalid_arg "Net.create: loss_rate must be in [0,1)";
+  {
+    rng;
+    topology;
+    loss_rate;
+    latency_factor;
+    clock = 0.0;
+    seq = 0;
+    events = Heap.create ~leq:(fun a b -> a.time < b.time || (a.time = b.time && a.seq <= b.seq));
+    nodes = Hashtbl.create 1024;
+    next_addr = 0;
+    sent = 0;
+    delivered = 0;
+    dropped = 0;
+    send_tap = None;
+  }
+
+let register t ~handler =
+  let addr = t.next_addr in
+  t.next_addr <- addr + 1;
+  Hashtbl.replace t.nodes addr { location = Topology.sample t.topology t.rng; handler; up = true };
+  addr
+
+let now t = t.clock
+
+let node t addr =
+  match Hashtbl.find_opt t.nodes addr with
+  | Some n -> n
+  | None -> invalid_arg (Printf.sprintf "Net: unknown address %d" addr)
+
+let push t time action =
+  t.seq <- t.seq + 1;
+  Heap.push t.events { time; seq = t.seq; action }
+
+let proximity t a b = Topology.proximity t.topology (node t a).location (node t b).location
+let max_proximity t = Topology.max_proximity t.topology
+
+let set_send_tap t tap = t.send_tap <- Some tap
+let clear_send_tap t = t.send_tap <- None
+
+let send t ~src ~dst msg =
+  t.sent <- t.sent + 1;
+  (match t.send_tap with Some tap -> tap ~src ~dst msg | None -> ());
+  if t.loss_rate > 0.0 && Rng.chance t.rng t.loss_rate then t.dropped <- t.dropped + 1
+  else begin
+    let latency = t.latency_factor *. proximity t src dst in
+    (* A small jitter keeps event ordering from being an artifact of
+       identical distances. *)
+    let jitter = Rng.float t.rng 0.01 in
+    push t (t.clock +. latency +. jitter) (Deliver { src; dst; msg })
+  end
+
+let schedule t ~delay run =
+  if delay < 0.0 then invalid_arg "Net.schedule: negative delay";
+  push t (t.clock +. delay) (Thunk { owner = None; run })
+
+let set_alive t addr up = (node t addr).up <- up
+let alive t addr = (node t addr).up
+let node_count t = Hashtbl.length t.nodes
+
+let dispatch t = function
+  | Deliver { src; dst; msg } -> (
+    match Hashtbl.find_opt t.nodes dst with
+    | Some n when n.up ->
+      t.delivered <- t.delivered + 1;
+      n.handler src msg
+    | Some _ | None -> t.dropped <- t.dropped + 1)
+  | Thunk { owner; run } -> (
+    match owner with
+    | Some a when not (alive t a) -> ()
+    | Some _ | None -> run ())
+
+let step t =
+  match Heap.pop t.events with
+  | None -> false
+  | Some { time; action; _ } ->
+    t.clock <- Stdlib.max t.clock time;
+    dispatch t action;
+    true
+
+let run ?until ?(max_events = max_int) t =
+  let continue = ref true in
+  let count = ref 0 in
+  while !continue && !count < max_events do
+    match Heap.peek t.events with
+    | None -> continue := false
+    | Some { time; _ } -> (
+      match until with
+      | Some limit when time > limit ->
+        t.clock <- limit;
+        continue := false
+      | _ ->
+        ignore (step t);
+        incr count)
+  done
+
+let rng t = t.rng
+let messages_sent t = t.sent
+let messages_delivered t = t.delivered
+let messages_dropped t = t.dropped
+
+let reset_counters t =
+  t.sent <- 0;
+  t.delivered <- 0;
+  t.dropped <- 0

@@ -1,0 +1,68 @@
+(** Deterministic discrete-event network simulator.
+
+    Substitutes for the paper's Internet deployment (see DESIGN.md §2).
+    Nodes register a message handler and receive an address; messages
+    are delivered after a latency proportional to the topology
+    proximity between the endpoints. Everything is driven by an event
+    queue, so a run is a pure function of the seed. *)
+
+type addr = int
+
+val pp_addr : Format.formatter -> addr -> unit
+
+type 'msg t
+
+val create :
+  ?loss_rate:float ->
+  ?latency_factor:float ->
+  rng:Past_stdext.Rng.t ->
+  topology:Topology.t ->
+  unit ->
+  'msg t
+(** [loss_rate] (default 0) drops each message independently;
+    [latency_factor] (default 1.0) converts proximity to delivery
+    delay. *)
+
+val register : 'msg t -> handler:(addr -> 'msg -> unit) -> addr
+(** Add a node: samples a location, returns its address. The handler
+    receives [(source, message)]. *)
+
+val now : _ t -> float
+
+val send : 'msg t -> src:addr -> dst:addr -> 'msg -> unit
+(** Queue a message. Silently dropped if [dst] is down or lost. *)
+
+val schedule : _ t -> delay:float -> (unit -> unit) -> unit
+(** Run a thunk at [now + delay]. *)
+
+val run : ?until:float -> ?max_events:int -> _ t -> unit
+(** Process queued events in time order until the queue drains, time
+    exceeds [until], or [max_events] is hit. *)
+
+val step : _ t -> bool
+(** Process a single event; [false] when the queue is empty. *)
+
+val set_alive : _ t -> addr -> bool -> unit
+(** Down nodes neither receive messages nor fire their scheduled
+    thunks. *)
+
+val alive : _ t -> addr -> bool
+val node_count : _ t -> int
+val proximity : _ t -> addr -> addr -> float
+(** Topology distance between two registered nodes. *)
+
+val max_proximity : _ t -> float
+val rng : _ t -> Past_stdext.Rng.t
+
+val set_send_tap : 'msg t -> (src:addr -> dst:addr -> 'msg -> unit) -> unit
+(** Install an observer invoked on every [send] (before loss/liveness
+    filtering) — used by experiments to account traffic by type. *)
+
+val clear_send_tap : _ t -> unit
+
+(** Counters, cumulative since creation. *)
+
+val messages_sent : _ t -> int
+val messages_delivered : _ t -> int
+val messages_dropped : _ t -> int
+val reset_counters : _ t -> unit

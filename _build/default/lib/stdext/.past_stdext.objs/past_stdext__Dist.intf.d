@@ -1,0 +1,1 @@
+lib/stdext/dist.mli: Rng

@@ -1,0 +1,1 @@
+lib/stdext/heap.mli:

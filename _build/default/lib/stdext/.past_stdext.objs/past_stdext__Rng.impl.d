@@ -1,0 +1,1 @@
+lib/stdext/rng.ml: Array Bytes Char Hashtbl Int64 List

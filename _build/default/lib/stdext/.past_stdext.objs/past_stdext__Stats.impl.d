@@ -1,0 +1,1 @@
+lib/stdext/stats.ml: Array Float List Stdlib

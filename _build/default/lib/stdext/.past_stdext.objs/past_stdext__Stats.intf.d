@@ -1,0 +1,1 @@
+lib/stdext/stats.mli:

@@ -1,0 +1,1 @@
+lib/stdext/text_table.ml: Array Buffer Format List Stdlib String

@@ -1,0 +1,1 @@
+lib/stdext/text_table.mli: Format

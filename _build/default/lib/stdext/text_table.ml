@@ -1,0 +1,50 @@
+type t = { headers : string list; mutable rows : string list list }
+
+let create headers = { headers; rows = [] }
+
+let add_row t row = t.rows <- row :: t.rows
+
+let add_rowf t fmt =
+  Format.kasprintf
+    (fun s -> add_row t (String.split_on_char '|' s |> List.map String.trim))
+    fmt
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols = List.length t.headers in
+  let pad row =
+    let len = List.length row in
+    if len >= ncols then row else row @ List.init (ncols - len) (fun _ -> "")
+  in
+  let rows = List.map pad rows in
+  let widths = Array.of_list (List.map String.length t.headers) in
+  let update row =
+    List.iteri
+      (fun i cell -> if i < ncols then widths.(i) <- Stdlib.max widths.(i) (String.length cell))
+      row
+  in
+  List.iter update rows;
+  let buf = Buffer.create 256 in
+  let emit_row row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf cell;
+        if i < ncols - 1 then Buffer.add_string buf (String.make (widths.(i) - String.length cell) ' '))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit_row t.headers;
+  let sep = List.init ncols (fun i -> String.make widths.(i) '-') in
+  emit_row sep;
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let print ?title t =
+  (match title with
+  | Some s ->
+    print_newline ();
+    print_endline s;
+    print_endline (String.make (String.length s) '=')
+  | None -> ());
+  print_string (render t)

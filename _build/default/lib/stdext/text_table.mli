@@ -1,0 +1,20 @@
+(** Aligned plain-text tables, used to print experiment results in the
+    shape of the paper's tables. *)
+
+type t
+
+val create : string list -> t
+(** [create headers] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Rows shorter than the header are padded with empty cells. *)
+
+val add_rowf : t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** [add_rowf t fmt ...] formats a single string and splits it on ['|']
+    into cells; convenient for numeric rows. *)
+
+val render : t -> string
+(** Render with a separator line under the header. *)
+
+val print : ?title:string -> t -> unit
+(** Print to stdout, optionally preceded by an underlined title. *)

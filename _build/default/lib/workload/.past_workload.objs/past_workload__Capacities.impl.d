@@ -1,0 +1,1 @@
+lib/workload/capacities.ml: List Past_stdext Stdlib

@@ -1,0 +1,1 @@
+lib/workload/capacities.mli: Past_stdext

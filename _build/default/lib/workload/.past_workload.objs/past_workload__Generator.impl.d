@@ -1,0 +1,1 @@
+lib/workload/generator.ml: List Past_stdext Printf Sizes Stdlib

@@ -1,0 +1,1 @@
+lib/workload/popularity.ml: Past_stdext

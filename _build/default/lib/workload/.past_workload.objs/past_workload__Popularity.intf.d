@@ -1,0 +1,1 @@
+lib/workload/popularity.mli: Past_stdext

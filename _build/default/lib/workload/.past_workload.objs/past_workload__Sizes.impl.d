@@ -1,0 +1,1 @@
+lib/workload/sizes.ml: Past_stdext Stdlib

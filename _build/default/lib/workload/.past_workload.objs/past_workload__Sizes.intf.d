@@ -1,0 +1,1 @@
+lib/workload/sizes.mli: Past_stdext

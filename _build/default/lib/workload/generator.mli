@@ -1,0 +1,47 @@
+(** Mixed-operation workload schedules.
+
+    Generates a reproducible stream of client operations — inserts of
+    heavy-tailed files, Zipf-popular lookups, occasional reclaims —
+    with exponential (Poisson-process) inter-arrival times, plus an
+    independent churn schedule of node failures and recoveries. This is
+    the glue between the distribution models and the soak-style
+    experiments/examples that drive a PAST deployment over simulated
+    hours. *)
+
+type op =
+  | Insert of { name : string; size : int }
+  | Lookup of { catalog_index : int }  (** index into previously inserted files *)
+  | Reclaim of { catalog_index : int }
+
+type event = { at : float; op : op }
+
+type profile = {
+  insert_weight : float;
+  lookup_weight : float;
+  reclaim_weight : float;
+  sizes : Sizes.t;
+  popularity_s : float;  (** Zipf exponent over the live catalog *)
+  ops_per_time_unit : float;  (** Poisson arrival rate *)
+}
+
+val default_profile : profile
+(** 20% inserts, 75% lookups, 5% reclaims; web-proxy sizes; Zipf 1.0;
+    one operation per simulated time unit. *)
+
+val schedule :
+  profile -> rng:Past_stdext.Rng.t -> horizon:float -> event list
+(** Events in increasing [at] order over \[0, horizon). Lookup/reclaim
+    targets are drawn by Zipf rank over the catalog of inserts issued
+    so far (the caller maps ranks to fileIds as its catalog grows);
+    while the catalog is empty only inserts are emitted. *)
+
+type churn_event = { c_at : float; kind : [ `Fail | `Recover ] }
+
+val churn_schedule :
+  rng:Past_stdext.Rng.t ->
+  horizon:float ->
+  mean_time_to_failure:float ->
+  mean_downtime:float ->
+  churn_event list
+(** A fail/recover alternation for one node: exponential up-times and
+    down-times. Generate one per node for whole-system churn. *)

@@ -1,0 +1,1 @@
+test/test_certificates.ml: Alcotest Lazy Past_core Past_crypto Past_id Past_stdext String

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Bytes Char Lazy List Past_crypto Past_stdext Printf String

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array List Past_core Past_experiments Past_stdext Printf

@@ -1,0 +1,1 @@
+test/test_id.ml: Alcotest Bytes Format List Past_bignum Past_crypto Past_id Past_stdext Printf QCheck QCheck_alcotest String

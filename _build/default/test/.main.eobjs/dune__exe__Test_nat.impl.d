@@ -1,0 +1,1 @@
+test/test_nat.ml: Alcotest Bytes Format List Past_bignum Past_stdext Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_past_system.ml: Alcotest Array Char List Past_core Past_id Past_pastry Past_simnet Printf String

@@ -1,0 +1,1 @@
+test/test_pastry_overlay.ml: Alcotest Array Float List Past_id Past_pastry Past_simnet Past_stdext Printf Stdlib

@@ -1,0 +1,1 @@
+test/test_pastry_state.ml: Alcotest List Past_id Past_pastry Past_stdext QCheck QCheck_alcotest

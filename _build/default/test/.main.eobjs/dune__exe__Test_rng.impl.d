@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Bytes Fun List Past_stdext Printf QCheck QCheck_alcotest

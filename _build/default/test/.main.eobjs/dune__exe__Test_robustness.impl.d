@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest List Past_bignum Past_core Past_id Past_pastry Past_simnet Past_stdext Printf

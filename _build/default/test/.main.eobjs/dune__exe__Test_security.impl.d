@@ -1,0 +1,1 @@
+test/test_security.ml: Alcotest Array Char List Past_core Past_crypto Past_id Past_pastry Past_stdext String

@@ -1,0 +1,1 @@
+test/test_simnet.ml: Alcotest Array List Past_simnet Past_stdext Stdlib

@@ -1,0 +1,1 @@
+test/test_stdext.ml: Alcotest Array List Past_stdext QCheck QCheck_alcotest String

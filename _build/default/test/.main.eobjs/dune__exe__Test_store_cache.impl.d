@@ -1,0 +1,1 @@
+test/test_store_cache.ml: Alcotest Lazy List Past_core Past_id Past_pastry Past_stdext Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Fun List Past_stdext Past_workload Printf

@@ -1,0 +1,21 @@
+(* Aggregate all test suites into one alcotest binary. *)
+
+let () =
+  Alcotest.run "past"
+    [
+      Test_rng.suite;
+      Test_stdext.suite;
+      Test_nat.suite;
+      Test_crypto.suite;
+      Test_id.suite;
+      Test_simnet.suite;
+      Test_pastry_state.suite;
+      Test_pastry_overlay.suite;
+      Test_certificates.suite;
+      Test_store_cache.suite;
+      Test_past_system.suite;
+      Test_workload.suite;
+      Test_experiments.suite;
+      Test_security.suite;
+      Test_robustness.suite;
+    ]

@@ -1,0 +1,183 @@
+(* Smoke tests for the experiment harness: each experiment runs at a
+   tiny scale and its result must have the paper's qualitative shape.
+   These guard the `past_sim` / `bench` entry points end to end. *)
+
+module Stats = Past_stdext.Stats
+
+let check = Alcotest.check
+let ( => ) name f = Alcotest.test_case name `Quick f
+
+let hops_grow_logarithmically () =
+  let open Past_experiments.Exp_hops in
+  let r = run { ns = [ 100; 1000 ]; lookups = 200; b = 4; leaf_set_size = 32; seed = 5 } in
+  match r.rows with
+  | [ small; large ] ->
+    check Alcotest.int "no misrouting (small)" 0 small.misdelivered;
+    check Alcotest.int "no misrouting (large)" 0 large.misdelivered;
+    check Alcotest.bool "hops grow with N" true (large.avg_hops > small.avg_hops);
+    check Alcotest.bool "within bound" true (large.avg_hops < large.bound)
+  | _ -> Alcotest.fail "expected two rows"
+
+let hop_distribution_sums_to_one () =
+  let open Past_experiments.Exp_hops in
+  let d = run_distribution { dn = 500; dlookups = 500; db = 4; dseed = 6 } in
+  let total = List.fold_left (fun acc (_, p) -> acc +. p) 0.0 d.probs in
+  check Alcotest.bool "probabilities sum to 1" true (abs_float (total -. 1.0) < 1e-6)
+
+let state_below_formula () =
+  let open Past_experiments.Exp_state in
+  let r = run { ns = [ 200 ]; b = 4; leaf_set_size = 32; seed = 7 } in
+  match r.rows with
+  | [ row ] ->
+    check Alcotest.bool "avg RT below formula bound" true (row.avg_rt_entries < row.formula)
+  | _ -> Alcotest.fail "one row expected"
+
+let locality_beats_baseline () =
+  let open Past_experiments.Exp_locality in
+  let r = run { ns = [ 600 ]; lookups = 300; seed = 8 } in
+  let ratio loc =
+    match List.find_opt (fun row -> row.locality = loc) r.rows with
+    | Some row -> row.avg_ratio
+    | None -> Alcotest.fail "row missing"
+  in
+  check Alcotest.bool "proximity-aware routes shorter" true (ratio true < ratio false);
+  check Alcotest.bool "ratio sane (>= 1)" true (ratio true >= 1.0)
+
+let replica_prefers_near () =
+  let open Past_experiments.Exp_replica in
+  let r = run { n = 800; k = 5; lookups = 300; seed = 9 } in
+  let total = float_of_int (max 1 r.lookups_done) in
+  let nearest = float_of_int r.hit_nearest /. total in
+  check Alcotest.bool
+    (Printf.sprintf "nearest replica dominates (%.2f)" nearest)
+    true (nearest > 0.4);
+  check Alcotest.bool "monotone-ish rank distribution" true
+    (r.rank_counts.(0) > r.rank_counts.(4))
+
+let leaf_failures_threshold () =
+  let open Past_experiments.Exp_failures in
+  let r =
+    run
+      {
+        n = 300;
+        leaf_set_size = 8;
+        failure_counts = [ 0; 2; 6 ];
+        trials = 3;
+        lookups_per_trial = 15;
+        seed = 10;
+      }
+  in
+  (match r.rows with
+  | [ r0; r2; r6 ] ->
+    check (Alcotest.float 1e-9) "m=0 perfect" 1.0 r0.success_rate;
+    check (Alcotest.float 1e-9) "m=2 < l/2 perfect" 1.0 r2.success_rate;
+    check Alcotest.bool "m=6 >= l/2 degrades" true (r6.success_rate < 1.0)
+  | _ -> Alcotest.fail "three rows expected")
+
+let maintenance_costs_bounded () =
+  let open Past_experiments.Exp_maintenance in
+  let r = run { ns = [ 60 ]; join_samples = 5; fail_samples = 2; seed = 11 } in
+  match r.rows with
+  | [ row ] ->
+    check Alcotest.bool "join cost positive" true (row.avg_join_msgs > 0.0);
+    check Alcotest.bool "join cost far below N" true (row.avg_join_msgs < 60.0 *. 4.0);
+    check Alcotest.bool "repair cost positive" true (row.avg_repair_msgs > 0.0)
+  | _ -> Alcotest.fail "one row expected"
+
+let randomized_retries_beat_deterministic () =
+  let open Past_experiments.Exp_malicious in
+  let r = run { n = 400; fractions = [ 0.2 ]; lookups = 150; max_retries = 4; seed = 12 } in
+  match r.rows with
+  | [ row ] ->
+    let with_retries = row.rand_success.(3) in
+    check Alcotest.bool
+      (Printf.sprintf "rand+retries %.2f > det %.2f" with_retries row.det_success)
+      true
+      (with_retries > row.det_success +. 0.05)
+  | _ -> Alcotest.fail "one row expected"
+
+let storage_policies_ordered () =
+  let open Past_experiments.Exp_storage in
+  let params =
+    {
+      default_params with
+      n = 60;
+      capacity_mean = 500_000;
+      sizes = capped_sizes ~capacity_mean:500_000;
+      seed = 13;
+    }
+  in
+  let r = run params in
+  let util p =
+    match List.find_opt (fun row -> row.policy = p) r.rows with
+    | Some row -> row.final_utilization
+    | None -> Alcotest.fail "row missing"
+  in
+  check Alcotest.bool "full >= thresholds" true (util Full >= util Thresholds -. 0.03);
+  check Alcotest.bool "full beats baseline" true (util Full > util Baseline);
+  check Alcotest.bool "full reaches high utilization" true (util Full > 0.85);
+  (* rejection biased toward large files in the managed policies *)
+  (match List.find_opt (fun row -> row.policy = Full) r.rows with
+  | Some row ->
+    if row.inserts_rejected > 0 then
+      check Alcotest.bool "rejects biased to large files" true
+        (row.mean_size_rejected > row.mean_size_accepted)
+  | None -> ())
+
+let caching_reduces_distance () =
+  let open Past_experiments.Exp_caching in
+  let params =
+    {
+      default_params with
+      n = 60;
+      catalog = 100;
+      lookups = 600;
+      fill_fractions = [ 0.3 ];
+      policies = [ Past_core.Cache.No_cache; Past_core.Cache.Gds ];
+      seed = 14;
+    }
+  in
+  let r = run params in
+  let row p =
+    match List.find_opt (fun row -> row.policy = p) r.rows with
+    | Some row -> row
+    | None -> Alcotest.fail "row missing"
+  in
+  let off = row Past_core.Cache.No_cache and on = row Past_core.Cache.Gds in
+  check (Alcotest.float 1e-9) "no hits without caching" 0.0 off.cache_hit_fraction;
+  check Alcotest.bool "caching produces hits" true (on.cache_hit_fraction > 0.1);
+  check Alcotest.bool "caching shortens fetches" true (on.avg_dist < off.avg_dist);
+  check Alcotest.bool "caching balances load" true (on.query_load_cv < off.query_load_cv)
+
+let balance_and_diversity () =
+  let open Past_experiments.Exp_balance in
+  let r = run { n = 120; files = 600; k = 3; diversity_samples = 100; seed = 15 } in
+  check Alcotest.bool "mean files per node ~ files*k/n" true
+    (abs_float (r.files_per_node_mean -. (600.0 *. 3.0 /. 120.0)) < 2.0);
+  check Alcotest.bool "replica sets as diverse as random" true
+    (abs_float (r.diversity_ratio -. 1.0) < 0.15)
+
+let quota_economy_conserves () =
+  let open Past_experiments.Exp_quota in
+  let r = run { default_params with n = 40; users = 5; inserts_per_user = 6; seed = 16 } in
+  check Alcotest.bool "conservation" true r.conservation_holds;
+  check Alcotest.int "no quota denials in sized workload" 0 r.inserts_denied_by_quota;
+  check Alcotest.bool "reclaims credited" true
+    (r.quota_used_after_reclaims < r.quota_used_after_inserts)
+
+let suite =
+  ( "experiments",
+    [
+      "EXP1 hops grow logarithmically" => hops_grow_logarithmically;
+      "EXP2 hop distribution" => hop_distribution_sums_to_one;
+      "EXP3 state below formula" => state_below_formula;
+      "EXP4 locality beats baseline" => locality_beats_baseline;
+      "EXP5 nearest replica preferred" => replica_prefers_near;
+      "EXP6 leaf failure threshold" => leaf_failures_threshold;
+      "EXP7 maintenance costs bounded" => maintenance_costs_bounded;
+      "EXP8 randomized retries win" => randomized_retries_beat_deterministic;
+      "EXP9/10 storage policy ordering" => storage_policies_ordered;
+      "EXP11 caching reduces distance" => caching_reduces_distance;
+      "EXP12 balance and diversity" => balance_and_diversity;
+      "EXP13 quota economy" => quota_economy_conserves;
+    ] )

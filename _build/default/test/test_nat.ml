@@ -1,0 +1,219 @@
+module Nat = Past_bignum.Nat
+module Rng = Past_stdext.Rng
+
+let check = Alcotest.check
+let ( => ) name f = Alcotest.test_case name `Quick f
+
+let nat = Alcotest.testable (fun fmt n -> Format.pp_print_string fmt (Nat.to_hex n)) Nat.equal
+
+(* Random operands for qcheck properties. *)
+let gen_nat =
+  QCheck.Gen.(
+    map
+      (fun (seed, bits) ->
+        let rng = Rng.create seed in
+        Nat.random_bits rng (1 + bits))
+      (pair int (int_bound 300)))
+
+let arb_nat = QCheck.make ~print:Nat.to_hex gen_nat
+
+let of_to_int () =
+  List.iter
+    (fun i -> check Alcotest.int "roundtrip" i (Nat.to_int (Nat.of_int i)))
+    [ 0; 1; 7; 255; 256; 65535; 1 lsl 30; max_int ]
+
+let of_int_negative () =
+  Alcotest.check_raises "negative" (Invalid_argument "Nat.of_int: negative") (fun () ->
+      ignore (Nat.of_int (-1)))
+
+let add_known () =
+  check nat "1+1" Nat.two (Nat.add Nat.one Nat.one);
+  check nat "0+x" (Nat.of_int 99) (Nat.add Nat.zero (Nat.of_int 99))
+
+let sub_known () =
+  check nat "5-3" Nat.two (Nat.sub (Nat.of_int 5) (Nat.of_int 3));
+  Alcotest.check_raises "negative result" (Invalid_argument "Nat.sub: negative result") (fun () ->
+      ignore (Nat.sub Nat.one Nat.two))
+
+let mul_known () =
+  check nat "6*7" (Nat.of_int 42) (Nat.mul (Nat.of_int 6) (Nat.of_int 7));
+  check nat "x*0" Nat.zero (Nat.mul (Nat.of_int 12345) Nat.zero)
+
+let big_mul () =
+  (* (2^64)(2^64) = 2^128 *)
+  let p64 = Nat.shift_left Nat.one 64 in
+  check nat "2^64 * 2^64" (Nat.shift_left Nat.one 128) (Nat.mul p64 p64)
+
+let divmod_known () =
+  let q, r = Nat.divmod (Nat.of_int 17) (Nat.of_int 5) in
+  check nat "17/5" (Nat.of_int 3) q;
+  check nat "17 mod 5" Nat.two r;
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Nat.divmod Nat.one Nat.zero))
+
+let decimal_string () =
+  check Alcotest.string "decimal" "1000000000000000000"
+    (Nat.to_string (Nat.of_hex "de0b6b3a7640000"));
+  check Alcotest.string "zero" "0" (Nat.to_string Nat.zero)
+
+let hex_roundtrip () =
+  List.iter
+    (fun s -> check Alcotest.string "hex" s (Nat.to_hex (Nat.of_hex s)))
+    [ "0"; "1"; "ff"; "deadbeef"; "123456789abcdef0123456789abcdef" ]
+
+let bytes_width () =
+  let b = Nat.to_bytes_be ~width:8 (Nat.of_int 0x1234) in
+  check Alcotest.int "padded width" 8 (Bytes.length b);
+  check nat "value preserved" (Nat.of_int 0x1234) (Nat.of_bytes_be b);
+  Alcotest.check_raises "too narrow" (Invalid_argument "Nat.to_bytes_be: width too small")
+    (fun () -> ignore (Nat.to_bytes_be ~width:1 (Nat.of_int 65536)))
+
+let shifts () =
+  check nat "1 << 100 >> 100" Nat.one (Nat.shift_right (Nat.shift_left Nat.one 100) 100);
+  check nat "x >> too far" Nat.zero (Nat.shift_right (Nat.of_int 7) 10);
+  check Alcotest.int "num_bits 2^100" 101 (Nat.num_bits (Nat.shift_left Nat.one 100));
+  check Alcotest.int "num_bits 0" 0 (Nat.num_bits Nat.zero)
+
+let testbit_matches_shift () =
+  let v = Nat.of_hex "a5c3" in
+  for i = 0 to 20 do
+    let expected = Nat.to_int (Nat.rem (Nat.shift_right v i) Nat.two) = 1 in
+    check Alcotest.bool (Printf.sprintf "bit %d" i) expected (Nat.testbit v i)
+  done
+
+let mod_pow_known () =
+  (* 3^100 mod 7 = 4 *)
+  check nat "3^100 mod 7" (Nat.of_int 4)
+    (Nat.mod_pow (Nat.of_int 3) (Nat.of_int 100) (Nat.of_int 7));
+  check nat "x^0 = 1" Nat.one (Nat.mod_pow (Nat.of_int 9) Nat.zero (Nat.of_int 100));
+  check nat "mod 1 = 0" Nat.zero (Nat.mod_pow (Nat.of_int 9) (Nat.of_int 5) Nat.one)
+
+let gcd_known () =
+  check nat "gcd 12 18" (Nat.of_int 6) (Nat.gcd (Nat.of_int 12) (Nat.of_int 18));
+  check nat "gcd x 0" (Nat.of_int 5) (Nat.gcd (Nat.of_int 5) Nat.zero)
+
+let mod_inv_known () =
+  (match Nat.mod_inv (Nat.of_int 3) (Nat.of_int 7) with
+  | Some x -> check nat "3^-1 mod 7" (Nat.of_int 5) x
+  | None -> Alcotest.fail "inverse exists");
+  check Alcotest.bool "no inverse when not coprime" true
+    (Nat.mod_inv (Nat.of_int 4) (Nat.of_int 8) = None)
+
+let primality_known () =
+  let rng = Rng.create 1 in
+  List.iter
+    (fun p ->
+      check Alcotest.bool (Printf.sprintf "%d is prime" p) true
+        (Nat.is_probable_prime rng (Nat.of_int p)))
+    [ 2; 3; 5; 7; 97; 257; 65537; 999983 ];
+  List.iter
+    (fun c ->
+      check Alcotest.bool (Printf.sprintf "%d is composite" c) false
+        (Nat.is_probable_prime rng (Nat.of_int c)))
+    [ 0; 1; 4; 9; 561 (* Carmichael *); 65536; 999981 ]
+
+let random_prime_bits () =
+  let rng = Rng.create 2 in
+  List.iter
+    (fun bits ->
+      let p = Nat.random_prime rng ~bits in
+      check Alcotest.int (Printf.sprintf "%d-bit prime" bits) bits (Nat.num_bits p);
+      check Alcotest.bool "odd" false (Nat.is_even p))
+    [ 8; 16; 64; 128 ]
+
+let random_below_bounds () =
+  let rng = Rng.create 3 in
+  let bound = Nat.of_hex "ffffffffffffffffffffff" in
+  for _ = 1 to 500 do
+    if Nat.compare (Nat.random_below rng bound) bound >= 0 then Alcotest.fail "not below"
+  done
+
+let qcheck_add_sub =
+  QCheck.Test.make ~name:"(a+b)-b = a" ~count:300 (QCheck.pair arb_nat arb_nat) (fun (a, b) ->
+      Nat.equal a (Nat.sub (Nat.add a b) b))
+
+let qcheck_add_comm =
+  QCheck.Test.make ~name:"a+b = b+a" ~count:300 (QCheck.pair arb_nat arb_nat) (fun (a, b) ->
+      Nat.equal (Nat.add a b) (Nat.add b a))
+
+let qcheck_mul_comm =
+  QCheck.Test.make ~name:"a*b = b*a" ~count:200 (QCheck.pair arb_nat arb_nat) (fun (a, b) ->
+      Nat.equal (Nat.mul a b) (Nat.mul b a))
+
+let qcheck_mul_distrib =
+  QCheck.Test.make ~name:"a*(b+c) = a*b + a*c" ~count:200
+    (QCheck.triple arb_nat arb_nat arb_nat)
+    (fun (a, b, c) ->
+      Nat.equal (Nat.mul a (Nat.add b c)) (Nat.add (Nat.mul a b) (Nat.mul a c)))
+
+let qcheck_divmod =
+  QCheck.Test.make ~name:"a = (a/b)*b + (a mod b), r < b" ~count:500
+    (QCheck.pair arb_nat arb_nat)
+    (fun (a, b) ->
+      let b = Nat.add b Nat.one in
+      let q, r = Nat.divmod a b in
+      Nat.equal a (Nat.add (Nat.mul q b) r) && Nat.compare r b < 0)
+
+let qcheck_hex =
+  QCheck.Test.make ~name:"hex roundtrip" ~count:300 arb_nat (fun a ->
+      Nat.equal a (Nat.of_hex (Nat.to_hex a)))
+
+let qcheck_bytes =
+  QCheck.Test.make ~name:"bytes roundtrip" ~count:300 arb_nat (fun a ->
+      Nat.equal a (Nat.of_bytes_be (Nat.to_bytes_be a)))
+
+let qcheck_shift =
+  QCheck.Test.make ~name:"shift_left then right is identity" ~count:300
+    (QCheck.pair arb_nat (QCheck.int_bound 200))
+    (fun (a, k) -> Nat.equal a (Nat.shift_right (Nat.shift_left a k) k))
+
+let qcheck_compare_total =
+  QCheck.Test.make ~name:"compare antisymmetric" ~count:300 (QCheck.pair arb_nat arb_nat)
+    (fun (a, b) -> Nat.compare a b = -Nat.compare b a)
+
+let qcheck_mod_inv =
+  QCheck.Test.make ~name:"mod_inv is an inverse" ~count:200 (QCheck.pair arb_nat arb_nat)
+    (fun (a, m) ->
+      let m = Nat.add m Nat.two in
+      let a = Nat.add a Nat.one in
+      match Nat.mod_inv a m with
+      | Some x -> Nat.equal (Nat.rem (Nat.mul (Nat.rem a m) x) m) (Nat.rem Nat.one m)
+      | None -> not (Nat.equal (Nat.gcd a m) Nat.one))
+
+let qcheck_logxor =
+  QCheck.Test.make ~name:"xor self-inverse" ~count:300 (QCheck.pair arb_nat arb_nat)
+    (fun (a, b) -> Nat.equal a (Nat.logxor (Nat.logxor a b) b))
+
+let suite =
+  ( "nat",
+    [
+      "int roundtrip" => of_to_int;
+      "of_int negative" => of_int_negative;
+      "add known" => add_known;
+      "sub known" => sub_known;
+      "mul known" => mul_known;
+      "big mul" => big_mul;
+      "divmod known" => divmod_known;
+      "decimal string" => decimal_string;
+      "hex roundtrip" => hex_roundtrip;
+      "bytes width" => bytes_width;
+      "shifts" => shifts;
+      "testbit" => testbit_matches_shift;
+      "mod_pow known" => mod_pow_known;
+      "gcd known" => gcd_known;
+      "mod_inv known" => mod_inv_known;
+      "primality known values" => primality_known;
+      "random_prime bit length" => random_prime_bits;
+      "random_below bounds" => random_below_bounds;
+      QCheck_alcotest.to_alcotest qcheck_add_sub;
+      QCheck_alcotest.to_alcotest qcheck_add_comm;
+      QCheck_alcotest.to_alcotest qcheck_mul_comm;
+      QCheck_alcotest.to_alcotest qcheck_mul_distrib;
+      QCheck_alcotest.to_alcotest qcheck_divmod;
+      QCheck_alcotest.to_alcotest qcheck_hex;
+      QCheck_alcotest.to_alcotest qcheck_bytes;
+      QCheck_alcotest.to_alcotest qcheck_shift;
+      QCheck_alcotest.to_alcotest qcheck_compare_total;
+      QCheck_alcotest.to_alcotest qcheck_mod_inv;
+      QCheck_alcotest.to_alcotest qcheck_logxor;
+    ] )

@@ -1,0 +1,322 @@
+(* End-to-end PAST tests: insert / lookup / reclaim with the full
+   certificate machinery, replication, failure recovery, diversion and
+   caching. *)
+
+module System = Past_core.System
+module Client = Past_core.Client
+module Node = Past_core.Node
+module Store = Past_core.Store
+module Cache = Past_core.Cache
+module Cert = Past_core.Certificate
+module Smartcard = Past_core.Smartcard
+module Id = Past_id.Id
+module Overlay = Past_pastry.Overlay
+module PNode = Past_pastry.Node
+module Net = Past_simnet.Net
+
+let check = Alcotest.check
+let ( => ) name f = Alcotest.test_case name `Quick f
+
+let small_system ?(n = 40) ?(node_config = Node.default_config) ?(seed = 70) () =
+  System.create ~node_config ~seed ~n ~crypto_mode:(`Rsa 256)
+    ~node_capacity:(fun _ _ -> 1_000_000)
+    ()
+
+type insert_ok = { file_id : Id.t; receipts : Cert.store_receipt list; attempts : int }
+
+let insert_exn client ~name ~data ~k =
+  match Client.insert_sync client ~name ~data ~k () with
+  | Client.Inserted { file_id; receipts; attempts } -> { file_id; receipts; attempts }
+  | Client.Insert_failed { reason; _ } -> Alcotest.failf "insert failed: %s" reason
+
+(* Count live replicas of a file across all stores. *)
+let replica_count sys file_id =
+  Array.fold_left
+    (fun acc node -> if Store.mem (Node.store node) file_id then acc + 1 else acc)
+    0 (System.nodes sys)
+
+let insert_lookup_roundtrip () =
+  let sys = small_system () in
+  let client = System.new_client sys ~quota:1_000_000 () in
+  let data = String.init 2048 (fun i -> Char.chr (i mod 256)) in
+  let r = insert_exn client ~name:"doc" ~data ~k:4 in
+  check Alcotest.int "k receipts" 4 (List.length r.receipts);
+  check Alcotest.int "one attempt" 1 r.attempts;
+  (* every receipt verifies and came from a distinct node *)
+  List.iter
+    (fun receipt -> check Alcotest.bool "receipt valid" true (Cert.verify_store_receipt receipt))
+    r.receipts;
+  let nodes =
+    List.sort_uniq compare
+      (List.map (fun rc -> Id.to_hex rc.Cert.storing_node_id) r.receipts)
+  in
+  check Alcotest.int "distinct storing nodes" 4 (List.length nodes);
+  (* lookup from a different access point returns identical content *)
+  let other = System.new_client sys ~quota:0 () in
+  match Client.lookup_sync other ~file_id:r.file_id () with
+  | Client.Found { data = d; cert; _ } ->
+    check Alcotest.string "content" data d;
+    check Alcotest.bool "cert verifies" true (Cert.verify_file cert)
+  | Client.Lookup_failed -> Alcotest.fail "lookup failed"
+
+let replicas_on_closest_nodes () =
+  let sys = small_system () in
+  let client = System.new_client sys ~quota:1_000_000 () in
+  let r = insert_exn client ~name:"placed" ~data:"0123456789" ~k:3 in
+  check Alcotest.int "3 copies" 3 (replica_count sys r.file_id);
+  (* The copies sit on the 3 nodes numerically closest to the fileId. *)
+  let expected =
+    Overlay.sorted_neighbours (System.overlay sys) (Id.prefix_of_file_id r.file_id) ~k:3
+    |> List.map PNode.addr |> List.sort compare
+  in
+  let actual =
+    Array.to_list (System.nodes sys)
+    |> List.filter (fun n -> Store.mem (Node.store n) r.file_id)
+    |> List.map Node.addr |> List.sort compare
+  in
+  check (Alcotest.list Alcotest.int) "replica placement" expected actual
+
+let immutability_same_name_new_id () =
+  (* Inserting the same name twice yields distinct fileIds (fresh
+     salt): files are immutable, there is no overwrite (§1). *)
+  let sys = small_system () in
+  let client = System.new_client sys ~quota:1_000_000 () in
+  let r1 = insert_exn client ~name:"same" ~data:"v1" ~k:2 in
+  let r2 = insert_exn client ~name:"same" ~data:"v2" ~k:2 in
+  check Alcotest.bool "distinct ids" false (Id.equal r1.file_id r2.file_id);
+  let c = System.new_client sys ~quota:0 () in
+  (match Client.lookup_sync c ~file_id:r1.file_id () with
+  | Client.Found { data; _ } -> check Alcotest.string "v1 intact" "v1" data
+  | Client.Lookup_failed -> Alcotest.fail "v1 lost")
+
+let lookup_missing_file () =
+  let sys = small_system () in
+  let client = System.new_client sys ~op_timeout:2_000.0 ~quota:0 () in
+  match Client.lookup_sync client ~file_id:(Id.random (System.rng sys) ~width:160) () with
+  | Client.Lookup_failed -> ()
+  | Client.Found _ -> Alcotest.fail "found a file that was never inserted"
+
+let reclaim_frees_and_credits () =
+  let sys = small_system () in
+  let client = System.new_client sys ~quota:100_000 () in
+  let data = String.make 1000 'x' in
+  let r = insert_exn client ~name:"temp" ~data ~k:3 in
+  check Alcotest.int "debited" 3000 (Smartcard.used (Client.card client));
+  let rc = Client.reclaim_sync client ~file_id:r.file_id ~expected:3 () in
+  check Alcotest.int "3 receipts" 3 (List.length rc.Client.receipts);
+  check Alcotest.int "credited back" 3000 rc.Client.credited;
+  check Alcotest.int "quota restored" 0 (Smartcard.used (Client.card client));
+  check Alcotest.int "copies gone" 0 (replica_count sys r.file_id)
+
+let reclaim_by_non_owner_rejected () =
+  let sys = small_system () in
+  let owner = System.new_client sys ~quota:100_000 () in
+  let attacker = System.new_client sys ~op_timeout:2_000.0 ~quota:100_000 () in
+  let r = insert_exn owner ~name:"mine" ~data:"private" ~k:3 in
+  let rc = Client.reclaim_sync attacker ~file_id:r.file_id () in
+  check Alcotest.int "no receipts for attacker" 0 (List.length rc.Client.receipts);
+  check Alcotest.int "copies intact" 3 (replica_count sys r.file_id)
+
+let availability_under_failures () =
+  (* k = 4 replicas survive the loss of 3 of their holders (§2:
+     "a file remains available as long as one of the k nodes ... is
+     alive"). *)
+  let sys = small_system ~n:50 () in
+  let client = System.new_client sys ~quota:1_000_000 () in
+  let data = String.make 500 'a' in
+  let r = insert_exn client ~name:"durable" ~data ~k:4 in
+  let holders =
+    Array.to_list (System.nodes sys)
+    |> List.filter (fun n -> Store.mem (Node.store n) r.file_id)
+  in
+  check Alcotest.int "4 holders" 4 (List.length holders);
+  (match holders with
+  | _ :: rest -> List.iter (System.kill_node sys) rest
+  | [] -> Alcotest.fail "no holders");
+  let reader = System.new_client sys ~quota:0 () in
+  match Client.lookup_sync reader ~file_id:r.file_id () with
+  | Client.Found { data = d; _ } -> check Alcotest.string "still served" data d
+  | Client.Lookup_failed -> Alcotest.fail "file unavailable with one live replica"
+
+let re_replication_after_failure () =
+  let sys = small_system ~n:40 () in
+  let client = System.new_client sys ~quota:1_000_000 () in
+  let r = insert_exn client ~name:"healed" ~data:"replica-data" ~k:3 in
+  check Alcotest.int "3 copies" 3 (replica_count sys r.file_id);
+  let victim =
+    Array.to_list (System.nodes sys)
+    |> List.find (fun n -> Store.mem (Node.store n) r.file_id)
+  in
+  System.start_maintenance sys;
+  System.kill_node sys victim;
+  (* Let failure detection + re-replication run. *)
+  let cfg = Past_pastry.Config.default in
+  let horizon =
+    Net.now (System.net sys)
+    +. (3.0 *. cfg.Past_pastry.Config.failure_timeout)
+    +. (3.0 *. cfg.Past_pastry.Config.keepalive_period)
+    +. 1_000.0
+  in
+  System.run ~until:horizon sys;
+  System.stop_maintenance sys;
+  System.run ~until:(horizon +. 10_000.0) sys;
+  let live_copies =
+    Array.fold_left
+      (fun acc node ->
+        if Node.addr node <> Node.addr victim && Store.mem (Node.store node) r.file_id then acc + 1
+        else acc)
+      0 (System.nodes sys)
+  in
+  check Alcotest.bool
+    (Printf.sprintf "replication restored (%d live copies)" live_copies)
+    true (live_copies >= 3)
+
+let diversion_keeps_file_reachable () =
+  (* One deliberately tiny node in the replica set forces a replica
+     diversion; the file must still be found. *)
+  let node_config = { Node.default_config with Node.verify_certificates = true } in
+  let sys =
+    System.create ~node_config ~seed:71 ~n:30 ~crypto_mode:(`Rsa 256)
+      ~node_capacity:(fun i _ -> if i mod 3 = 0 then 2_000 else 1_000_000)
+      ()
+  in
+  let client = System.new_client sys ~quota:2_000_000 () in
+  let data = String.make 1_000 'd' in
+  (* Insert enough files that some replica set hits a tiny node. *)
+  let ids = ref [] in
+  for i = 1 to 30 do
+    match Client.insert_sync client ~name:(Printf.sprintf "d%d" i) ~data ~k:3 () with
+    | Client.Inserted { file_id; _ } -> ids := file_id :: !ids
+    | Client.Insert_failed _ -> ()
+  done;
+  check Alcotest.bool "most inserts accepted" true (List.length !ids >= 25);
+  let diverted =
+    Array.fold_left (fun acc n -> acc + Store.pointer_count (Node.store n)) 0 (System.nodes sys)
+  in
+  check Alcotest.bool "some replicas diverted" true (diverted > 0);
+  let reader = System.new_client sys ~quota:0 () in
+  List.iter
+    (fun file_id ->
+      match Client.lookup_sync reader ~file_id () with
+      | Client.Found _ -> ()
+      | Client.Lookup_failed -> Alcotest.failf "file %s unreachable" (Id.short file_id))
+    !ids
+
+let quota_enforced_end_to_end () =
+  let sys = small_system () in
+  let client = System.new_client sys ~quota:5_000 () in
+  (match Client.insert_sync client ~name:"fits" ~data:(String.make 1000 'x') ~k:3 () with
+  | Client.Inserted _ -> ()
+  | Client.Insert_failed _ -> Alcotest.fail "should fit quota");
+  match Client.insert_sync client ~name:"too-big" ~data:(String.make 1000 'x') ~k:3 () with
+  | Client.Inserted _ -> Alcotest.fail "quota should be exhausted"
+  | Client.Insert_failed { reason; _ } -> check Alcotest.string "reason" "quota exceeded" reason
+
+let cache_serves_popular_file () =
+  let sys = small_system ~n:30 () in
+  let client = System.new_client sys ~quota:1_000_000 () in
+  let r = insert_exn client ~name:"hot" ~data:"popular content" ~k:2 in
+  (* Hammer the file from many access points; later lookups should hit
+     caches (served_from_cache counters grow). *)
+  let readers = Array.init 10 (fun _ -> System.new_client sys ~quota:0 ()) in
+  Array.iter
+    (fun reader ->
+      for _ = 1 to 3 do
+        match Client.lookup_sync reader ~file_id:r.file_id () with
+        | Client.Found _ -> ()
+        | Client.Lookup_failed -> Alcotest.fail "lookup failed"
+      done)
+    readers;
+  let cache_hits =
+    Array.fold_left (fun acc n -> acc + Node.lookups_served_from_cache n) 0 (System.nodes sys)
+  in
+  check Alcotest.bool (Printf.sprintf "cache served %d" cache_hits) true (cache_hits > 0)
+
+let utilization_accounting () =
+  let sys = small_system ~n:20 () in
+  let client = System.new_client sys ~quota:max_int () in
+  check (Alcotest.float 1e-9) "starts empty" 0.0 (System.global_utilization sys);
+  ignore (insert_exn client ~name:"u" ~data:(String.make 1000 'u') ~k:5);
+  check Alcotest.int "used = size * k" 5000 (System.total_used sys);
+  check Alcotest.int "capacity" 20_000_000 (System.total_capacity sys)
+
+let dynamic_build_system () =
+  let sys =
+    System.create ~build:`Dynamic ~seed:72 ~n:25 ~crypto_mode:`Insecure
+      ~node_capacity:(fun _ _ -> 100_000)
+      ()
+  in
+  let client = System.new_client sys ~quota:100_000 () in
+  let r = insert_exn client ~name:"dyn" ~data:"dynamic overlay" ~k:3 in
+  match Client.lookup_sync client ~file_id:r.file_id () with
+  | Client.Found _ -> ()
+  | Client.Lookup_failed -> Alcotest.fail "lookup failed on dynamic overlay"
+
+let insecure_crypto_mode_works () =
+  let sys =
+    System.create ~seed:73 ~n:20 ~crypto_mode:`Insecure
+      ~node_capacity:(fun _ _ -> 100_000)
+      ()
+  in
+  let client = System.new_client sys ~quota:100_000 () in
+  let r = insert_exn client ~name:"cheap" ~data:"insecure sigs" ~k:2 in
+  match Client.lookup_sync client ~file_id:r.file_id () with
+  | Client.Found { cert; _ } -> check Alcotest.bool "cert verifies" true (Cert.verify_file cert)
+  | Client.Lookup_failed -> Alcotest.fail "lookup failed"
+
+let lookup_retries_route_around_droppers () =
+  (* Randomized routing + client retries (§2.1 System integrity). *)
+  let pastry_config =
+    { Past_pastry.Config.default with Past_pastry.Config.randomized_routing = true }
+  in
+  let sys =
+    System.create ~pastry_config ~seed:74 ~n:60 ~crypto_mode:`Insecure
+      ~node_capacity:(fun _ _ -> 1_000_000)
+      ()
+  in
+  let client = System.new_client sys ~quota:1_000_000 () in
+  let r = insert_exn client ~name:"contested" ~data:"get me" ~k:3 in
+  (* Make a batch of intermediate nodes malicious (not the holders, not
+     the client's access node). *)
+  let holders =
+    Array.to_list (System.nodes sys)
+    |> List.filter (fun n -> Store.mem (Node.store n) r.file_id)
+    |> List.map Node.addr
+  in
+  let access_addr = Node.addr (Client.access client) in
+  let count = ref 0 in
+  Array.iter
+    (fun n ->
+      if (not (List.mem (Node.addr n) holders)) && Node.addr n <> access_addr && !count < 15
+      then begin
+        PNode.set_malicious (Node.pastry n) true;
+        incr count
+      end)
+    (System.nodes sys);
+  let ok = ref 0 in
+  for _ = 1 to 10 do
+    match Client.lookup_sync client ~retries:6 ~file_id:r.file_id () with
+    | Client.Found _ -> incr ok
+    | Client.Lookup_failed -> ()
+  done;
+  check Alcotest.bool (Printf.sprintf "%d/10 with retries" !ok) true (!ok >= 8)
+
+let suite =
+  ( "past-system",
+    [
+      "insert/lookup roundtrip" => insert_lookup_roundtrip;
+      "replicas on closest nodes" => replicas_on_closest_nodes;
+      "immutability: same name, new id" => immutability_same_name_new_id;
+      "lookup missing file" => lookup_missing_file;
+      "reclaim frees and credits" => reclaim_frees_and_credits;
+      "reclaim by non-owner rejected" => reclaim_by_non_owner_rejected;
+      "availability under failures" => availability_under_failures;
+      "re-replication after failure" => re_replication_after_failure;
+      "diversion keeps files reachable" => diversion_keeps_file_reachable;
+      "quota enforced end to end" => quota_enforced_end_to_end;
+      "cache serves popular file" => cache_serves_popular_file;
+      "utilization accounting" => utilization_accounting;
+      "dynamic build" => dynamic_build_system;
+      "insecure crypto mode" => insecure_crypto_mode_works;
+      "lookup retries route around droppers" => lookup_retries_route_around_droppers;
+    ] )

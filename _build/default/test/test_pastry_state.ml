@@ -1,0 +1,266 @@
+(* Routing table, leaf set and neighborhood set invariants. *)
+
+module Id = Past_id.Id
+module Rng = Past_stdext.Rng
+module Config = Past_pastry.Config
+module Peer = Past_pastry.Peer
+module Routing_table = Past_pastry.Routing_table
+module Leaf_set = Past_pastry.Leaf_set
+module Neighborhood = Past_pastry.Neighborhood
+
+let check = Alcotest.check
+let ( => ) name f = Alcotest.test_case name `Quick f
+let config = Config.default
+let small_config = { Config.default with Config.leaf_set_size = 4 }
+let mkid hex = Id.of_hex ~width:128 hex
+let peer hex addr = Peer.make ~id:(mkid hex) ~addr
+
+(* --- Config --- *)
+
+let config_validation () =
+  Config.validate Config.default;
+  Alcotest.check_raises "bad b" (Invalid_argument "Config: b must be 1, 2, 4 or 8") (fun () ->
+      Config.validate { Config.default with Config.b = 3 });
+  Alcotest.check_raises "odd leaf" (Invalid_argument "Config: leaf_set_size must be even and >= 2")
+    (fun () -> Config.validate { Config.default with Config.leaf_set_size = 5 });
+  check Alcotest.int "rows" 32 (Config.rows Config.default);
+  check Alcotest.int "cols" 16 (Config.cols Config.default)
+
+(* --- Routing table --- *)
+
+let own = mkid "a0000000000000000000000000000000"
+
+let rt_placement () =
+  let rt = Routing_table.create ~config ~own in
+  let p = peer "b0000000000000000000000000000000" 1 in
+  (* shares 0 digits, first digit 0xb -> row 0, col 11 *)
+  check Alcotest.bool "installed" true (Routing_table.consider rt ~proximity:(fun _ -> 1.0) p);
+  check Alcotest.bool "found" true (Routing_table.lookup rt ~row:0 ~col:11 <> None);
+  check Alcotest.int "count" 1 (Routing_table.entry_count rt);
+  (* shares 1 digit (a), second digit 5 -> row 1, col 5 *)
+  let q = peer "a5000000000000000000000000000000" 2 in
+  ignore (Routing_table.consider rt ~proximity:(fun _ -> 1.0) q);
+  check Alcotest.bool "row1" true (Routing_table.lookup rt ~row:1 ~col:5 <> None)
+
+let rt_rejects_self () =
+  let rt = Routing_table.create ~config ~own in
+  check Alcotest.bool "self ignored" false
+    (Routing_table.consider rt ~proximity:(fun _ -> 0.0) (Peer.make ~id:own ~addr:9))
+
+let rt_proximity_preference () =
+  let rt = Routing_table.create ~config ~own in
+  let far = peer "b0000000000000000000000000000000" 1 in
+  let near = peer "b1000000000000000000000000000000" 2 in
+  let proximity a = if a = 1 then 100.0 else 10.0 in
+  ignore (Routing_table.consider rt ~proximity far);
+  check Alcotest.bool "near replaces far" true (Routing_table.consider rt ~proximity near);
+  (match Routing_table.lookup rt ~row:0 ~col:11 with
+  | Some p -> check Alcotest.int "kept near" 2 p.Peer.addr
+  | None -> Alcotest.fail "missing");
+  (* a farther candidate does not evict *)
+  check Alcotest.bool "far not reinstalled" false (Routing_table.consider rt ~proximity far)
+
+let rt_no_proximity_keeps_first () =
+  let rt = Routing_table.create ~config ~own in
+  let a = peer "b0000000000000000000000000000000" 1 in
+  let b = peer "b1000000000000000000000000000000" 2 in
+  check Alcotest.bool "first installs" true (Routing_table.consider_no_proximity rt a);
+  check Alcotest.bool "second rejected" false (Routing_table.consider_no_proximity rt b)
+
+let rt_remove () =
+  let rt = Routing_table.create ~config ~own in
+  ignore (Routing_table.consider rt ~proximity:(fun _ -> 1.0) (peer "b0000000000000000000000000000000" 1));
+  ignore (Routing_table.consider rt ~proximity:(fun _ -> 1.0) (peer "c0000000000000000000000000000000" 1));
+  check Alcotest.int "two entries" 2 (Routing_table.entry_count rt);
+  check Alcotest.bool "removed" true (Routing_table.remove_addr rt 1);
+  check Alcotest.int "empty" 0 (Routing_table.entry_count rt)
+
+let rt_next_hop () =
+  let rt = Routing_table.create ~config ~own in
+  let p = peer "b0000000000000000000000000000000" 1 in
+  ignore (Routing_table.consider rt ~proximity:(fun _ -> 1.0) p);
+  let key = mkid "b7777777777777777777777777777777" in
+  (match Routing_table.next_hop rt ~key with
+  | Some q -> check Alcotest.int "hop to b-prefix node" 1 q.Peer.addr
+  | None -> Alcotest.fail "expected hop");
+  check Alcotest.bool "no entry for other digit" true
+    (Routing_table.next_hop rt ~key:(mkid "c0000000000000000000000000000000") = None)
+
+let rt_row_peers () =
+  let rt = Routing_table.create ~config ~own in
+  ignore (Routing_table.consider rt ~proximity:(fun _ -> 1.0) (peer "b0000000000000000000000000000000" 1));
+  ignore (Routing_table.consider rt ~proximity:(fun _ -> 1.0) (peer "a1000000000000000000000000000000" 2));
+  check Alcotest.int "row 0 has one" 1 (List.length (Routing_table.row_peers rt 0));
+  check Alcotest.int "row 1 has one" 1 (List.length (Routing_table.row_peers rt 1));
+  check Alcotest.int "all" 2 (List.length (Routing_table.peers rt))
+
+(* --- Leaf set --- *)
+
+let i_id n = Id.add_int (Id.of_hex ~width:128 "80000000000000000000000000000000") n
+
+let leaf_basic () =
+  let ls = Leaf_set.create ~config:small_config ~own:(i_id 0) in
+  check Alcotest.bool "empty" true (Leaf_set.is_empty ls);
+  ignore (Leaf_set.add ls (Peer.make ~id:(i_id 1) ~addr:1));
+  ignore (Leaf_set.add ls (Peer.make ~id:(i_id (-1)) ~addr:2));
+  check Alcotest.int "size" 2 (Leaf_set.size ls);
+  check Alcotest.bool "mem" true (Leaf_set.mem_addr ls 1);
+  check Alcotest.bool "self rejected" false (Leaf_set.add ls (Peer.make ~id:(i_id 0) ~addr:3))
+
+let leaf_caps_sides () =
+  let ls = Leaf_set.create ~config:small_config ~own:(i_id 0) in
+  (* l=4 -> 2 per side; add 5 on the larger side. *)
+  for d = 1 to 5 do
+    ignore (Leaf_set.add ls (Peer.make ~id:(i_id (10 * d)) ~addr:d))
+  done;
+  check Alcotest.int "larger capped" 2 (List.length (Leaf_set.larger ls));
+  (* The two closest survive. *)
+  let addrs = List.map (fun p -> p.Peer.addr) (Leaf_set.larger ls) in
+  check (Alcotest.list Alcotest.int) "closest kept" [ 1; 2 ] addrs
+
+let leaf_ordering () =
+  let ls = Leaf_set.create ~config:small_config ~own:(i_id 0) in
+  ignore (Leaf_set.add ls (Peer.make ~id:(i_id 30) ~addr:3));
+  ignore (Leaf_set.add ls (Peer.make ~id:(i_id 10) ~addr:1));
+  ignore (Leaf_set.add ls (Peer.make ~id:(i_id (-20)) ~addr:2));
+  let larger = List.map (fun p -> p.Peer.addr) (Leaf_set.larger ls) in
+  check (Alcotest.list Alcotest.int) "larger sorted by distance" [ 1; 3 ] larger;
+  match Leaf_set.extreme_larger ls with
+  | Some p -> check Alcotest.int "extreme" 3 p.Peer.addr
+  | None -> Alcotest.fail "extreme missing"
+
+let leaf_closest () =
+  let ls = Leaf_set.create ~config:small_config ~own:(i_id 0) in
+  ignore (Leaf_set.add ls (Peer.make ~id:(i_id 10) ~addr:1));
+  ignore (Leaf_set.add ls (Peer.make ~id:(i_id (-10)) ~addr:2));
+  (match Leaf_set.closest_to ls (i_id 9) with
+  | Some p -> check Alcotest.int "closest member" 1 p.Peer.addr
+  | None -> Alcotest.fail "closest missing");
+  (match Leaf_set.closest_including_self ls (i_id 2) with
+  | `Self -> ()
+  | `Peer _ -> Alcotest.fail "self is closest");
+  match Leaf_set.closest_including_self ls (i_id 9) with
+  | `Peer p -> check Alcotest.int "peer closest" 1 p.Peer.addr
+  | `Self -> Alcotest.fail "peer is closest"
+
+let leaf_covers () =
+  let ls = Leaf_set.create ~config:small_config ~own:(i_id 0) in
+  (* Sparse: covers everything. *)
+  check Alcotest.bool "sparse covers" true (Leaf_set.covers ls (i_id 1_000_000));
+  ignore (Leaf_set.add ls (Peer.make ~id:(i_id 10) ~addr:1));
+  ignore (Leaf_set.add ls (Peer.make ~id:(i_id 20) ~addr:2));
+  ignore (Leaf_set.add ls (Peer.make ~id:(i_id (-10)) ~addr:3));
+  ignore (Leaf_set.add ls (Peer.make ~id:(i_id (-20)) ~addr:4));
+  (* Both sides full now (cap 2). *)
+  check Alcotest.bool "inside" true (Leaf_set.covers ls (i_id 15));
+  check Alcotest.bool "inside negative" true (Leaf_set.covers ls (i_id (-15)));
+  check Alcotest.bool "boundary" true (Leaf_set.covers ls (i_id 20));
+  check Alcotest.bool "outside" false (Leaf_set.covers ls (i_id 25));
+  check Alcotest.bool "far outside" false (Leaf_set.covers ls (i_id 1_000_000))
+
+let leaf_replica_set () =
+  let ls = Leaf_set.create ~config:{ Config.default with Config.leaf_set_size = 8 } ~own:(i_id 0) in
+  List.iter
+    (fun d -> ignore (Leaf_set.add ls (Peer.make ~id:(i_id (10 * d)) ~addr:d)))
+    [ 1; 2; 3; -1; -2; -3 ]
+  |> ignore;
+  let rs = Leaf_set.replica_set ls ~k:3 (i_id 1) in
+  check Alcotest.int "k entries" 3 (List.length rs);
+  (match rs with
+  | `Self :: `Peer p1 :: `Peer p2 :: [] ->
+    check Alcotest.int "then closest" 1 p1.Peer.addr;
+    check Alcotest.bool "third is +-" true (p2.Peer.addr = -1 || p2.Peer.addr = 2)
+  | _ -> Alcotest.fail "self should be first");
+  check Alcotest.int "k capped by members+1" 7 (List.length (Leaf_set.replica_set ls ~k:50 (i_id 0)))
+
+let leaf_remove () =
+  let ls = Leaf_set.create ~config:small_config ~own:(i_id 0) in
+  ignore (Leaf_set.add ls (Peer.make ~id:(i_id 10) ~addr:1));
+  check Alcotest.bool "removed" true (Leaf_set.remove_addr ls 1);
+  check Alcotest.bool "gone" false (Leaf_set.mem_addr ls 1);
+  check Alcotest.bool "remove again false" false (Leaf_set.remove_addr ls 1)
+
+let leaf_wrap_around () =
+  (* Own id near zero: smaller side wraps to the top of the ring. *)
+  let own = Id.add_int (Id.zero ~width:128) 5 in
+  let ls = Leaf_set.create ~config:small_config ~own in
+  let top = Id.add_int (Id.zero ~width:128) (-3) in
+  ignore (Leaf_set.add ls (Peer.make ~id:top ~addr:1));
+  check Alcotest.int "wrapped into smaller side" 1 (List.length (Leaf_set.smaller ls));
+  match Leaf_set.closest_including_self ls (Id.add_int (Id.zero ~width:128) (-1)) with
+  | `Peer p -> check Alcotest.int "wrap closest" 1 p.Peer.addr
+  | `Self -> Alcotest.fail "wrapped peer is closer"
+
+(* qcheck: replica_set matches a brute-force sort of members+self. *)
+let qcheck_replica_set =
+  QCheck.Test.make ~name:"replica_set = brute force k closest" ~count:100
+    QCheck.(pair small_int (int_bound 1000))
+    (fun (seed, _) ->
+      let rng = Rng.create seed in
+      let own = Id.random rng ~width:128 in
+      let ls = Leaf_set.create ~config:{ Config.default with Config.leaf_set_size = 16 } ~own in
+      let peers =
+        List.init 12 (fun i -> Peer.make ~id:(Id.random rng ~width:128) ~addr:i)
+      in
+      List.iter (fun p -> ignore (Leaf_set.add ls p)) peers;
+      let key = Id.random rng ~width:128 in
+      let k = 4 in
+      let got =
+        Leaf_set.replica_set ls ~k key
+        |> List.map (function `Self -> own | `Peer p -> p.Peer.id)
+      in
+      let members = Leaf_set.members ls |> List.map (fun p -> p.Peer.id) in
+      let expected =
+        List.sort (fun a b -> Id.closer ~target:key a b) (own :: members)
+        |> List.filteri (fun i _ -> i < k)
+      in
+      List.equal Id.equal got expected)
+
+(* --- Neighborhood --- *)
+
+let nbhd_caps_and_keeps_closest () =
+  let nb =
+    Neighborhood.create ~config:{ Config.default with Config.neighborhood_size = 3 } ~own:(i_id 0)
+  in
+  for d = 1 to 6 do
+    ignore (Neighborhood.add nb ~proximity:(float_of_int d) (Peer.make ~id:(i_id d) ~addr:d))
+  done;
+  check Alcotest.int "capped" 3 (Neighborhood.size nb);
+  let addrs = List.sort compare (List.map (fun p -> p.Peer.addr) (Neighborhood.members nb)) in
+  check (Alcotest.list Alcotest.int) "closest three" [ 1; 2; 3 ] addrs;
+  (* A closer latecomer evicts the farthest member. *)
+  ignore (Neighborhood.add nb ~proximity:0.5 (Peer.make ~id:(i_id 9) ~addr:9));
+  let addrs = List.sort compare (List.map (fun p -> p.Peer.addr) (Neighborhood.members nb)) in
+  check (Alcotest.list Alcotest.int) "evicted farthest" [ 1; 2; 9 ] addrs
+
+let nbhd_dedup_and_remove () =
+  let nb = Neighborhood.create ~config:Config.default ~own:(i_id 0) in
+  ignore (Neighborhood.add nb ~proximity:1.0 (Peer.make ~id:(i_id 1) ~addr:1));
+  check Alcotest.bool "duplicate rejected" false
+    (Neighborhood.add nb ~proximity:0.5 (Peer.make ~id:(i_id 1) ~addr:1));
+  check Alcotest.bool "removed" true (Neighborhood.remove_addr nb 1);
+  check Alcotest.int "empty" 0 (Neighborhood.size nb)
+
+let suite =
+  ( "pastry-state",
+    [
+      "config validation" => config_validation;
+      "rt placement" => rt_placement;
+      "rt rejects self" => rt_rejects_self;
+      "rt proximity preference" => rt_proximity_preference;
+      "rt no-proximity keeps first" => rt_no_proximity_keeps_first;
+      "rt remove" => rt_remove;
+      "rt next hop" => rt_next_hop;
+      "rt row peers" => rt_row_peers;
+      "leaf basic" => leaf_basic;
+      "leaf caps sides" => leaf_caps_sides;
+      "leaf ordering" => leaf_ordering;
+      "leaf closest" => leaf_closest;
+      "leaf covers" => leaf_covers;
+      "leaf replica set" => leaf_replica_set;
+      "leaf remove" => leaf_remove;
+      "leaf wrap-around" => leaf_wrap_around;
+      QCheck_alcotest.to_alcotest qcheck_replica_set;
+      "neighborhood cap/closest" => nbhd_caps_and_keeps_closest;
+      "neighborhood dedup/remove" => nbhd_dedup_and_remove;
+    ] )

@@ -1,0 +1,206 @@
+module Topology = Past_simnet.Topology
+module Net = Past_simnet.Net
+module Rng = Past_stdext.Rng
+
+let check = Alcotest.check
+let ( => ) name f = Alcotest.test_case name `Quick f
+
+(* --- Topology --- *)
+
+let topo_symmetry name topo =
+  let rng = Rng.create 1 in
+  for _ = 1 to 100 do
+    let a = Topology.sample topo rng and b = Topology.sample topo rng in
+    let d1 = Topology.proximity topo a b and d2 = Topology.proximity topo b a in
+    if abs_float (d1 -. d2) > 1e-9 then Alcotest.failf "%s not symmetric: %f vs %f" name d1 d2
+  done
+
+let topo_bounds name topo =
+  let rng = Rng.create 2 in
+  let bound = Topology.max_proximity topo in
+  for _ = 1 to 200 do
+    let a = Topology.sample topo rng and b = Topology.sample topo rng in
+    let d = Topology.proximity topo a b in
+    if d < 0.0 || d > bound then Alcotest.failf "%s out of bounds: %f (max %f)" name d bound
+  done
+
+let plane_self_distance () =
+  let topo = Topology.plane () in
+  let rng = Rng.create 3 in
+  let a = Topology.sample topo rng in
+  check (Alcotest.float 1e-9) "self distance" 0.0 (Topology.proximity topo a a)
+
+let sphere_self_distance () =
+  let topo = Topology.sphere () in
+  let rng = Rng.create 3 in
+  let a = Topology.sample topo rng in
+  (* acos near 1.0 amplifies float error: tolerance is ~1e-4 rad. *)
+  check Alcotest.bool "self distance tiny" true (Topology.proximity topo a a < 0.5)
+
+let all_topologies () =
+  List.iter
+    (fun (name, topo) ->
+      topo_symmetry name topo;
+      topo_bounds name topo)
+    [
+      ("plane", Topology.plane ());
+      ("sphere", Topology.sphere ());
+      ("transit_stub", Topology.transit_stub ());
+    ]
+
+let transit_stub_hierarchy () =
+  (* Same stub < same transit < cross transit, up to jitter (< 1). *)
+  let topo = Topology.transit_stub () in
+  let rng = Rng.create 4 in
+  (* Sample until we find pairs in the relevant relations. *)
+  let samples = Array.init 500 (fun _ -> Topology.sample topo rng) in
+  let min_cross = ref infinity and max_local = ref 0.0 in
+  Array.iteri
+    (fun i a ->
+      Array.iteri
+        (fun j b ->
+          if i < j then begin
+            let d = Topology.proximity topo a b in
+            if d > 60.0 then min_cross := Stdlib.min !min_cross d
+            else if d < 7.0 then max_local := Stdlib.max !max_local d
+          end)
+        samples)
+    samples;
+  check Alcotest.bool "local cheaper than cross-transit" true (!max_local < !min_cross)
+
+(* --- Net --- *)
+
+let make_net ?loss_rate () =
+  Net.create ?loss_rate ~rng:(Rng.create 7) ~topology:(Topology.plane ()) ()
+
+let delivery_roundtrip () =
+  let net = make_net () in
+  let got = ref [] in
+  let a = Net.register net ~handler:(fun src msg -> got := (src, msg) :: !got) in
+  let b = Net.register net ~handler:(fun _ _ -> ()) in
+  Net.send net ~src:b ~dst:a "hello";
+  Net.run net;
+  check (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.string)) "delivered" [ (b, "hello") ] !got
+
+let time_ordering () =
+  let net = make_net () in
+  let order = ref [] in
+  let _a = Net.register net ~handler:(fun _ _ -> ()) in
+  Net.schedule net ~delay:10.0 (fun () -> order := 2 :: !order);
+  Net.schedule net ~delay:5.0 (fun () -> order := 1 :: !order);
+  Net.schedule net ~delay:20.0 (fun () -> order := 3 :: !order);
+  Net.run net;
+  check (Alcotest.list Alcotest.int) "fires in time order" [ 1; 2; 3 ] (List.rev !order)
+
+let clock_advances () =
+  let net = make_net () in
+  Net.schedule net ~delay:42.0 (fun () -> ());
+  Net.run net;
+  check (Alcotest.float 1e-9) "clock" 42.0 (Net.now net)
+
+let run_until_bounds () =
+  let net = make_net () in
+  let fired = ref false in
+  Net.schedule net ~delay:100.0 (fun () -> fired := true);
+  Net.run ~until:50.0 net;
+  check Alcotest.bool "not fired" false !fired;
+  check (Alcotest.float 1e-9) "clock at horizon" 50.0 (Net.now net);
+  Net.run net;
+  check Alcotest.bool "fires later" true !fired
+
+let dead_node_drops () =
+  let net = make_net () in
+  let got = ref 0 in
+  let a = Net.register net ~handler:(fun _ _ -> incr got) in
+  let b = Net.register net ~handler:(fun _ _ -> ()) in
+  Net.set_alive net a false;
+  Net.send net ~src:b ~dst:a "x";
+  Net.run net;
+  check Alcotest.int "nothing delivered" 0 !got;
+  check Alcotest.int "counted dropped" 1 (Net.messages_dropped net);
+  Net.set_alive net a true;
+  Net.send net ~src:b ~dst:a "y";
+  Net.run net;
+  check Alcotest.int "delivered after revive" 1 !got
+
+let latency_proportional_to_proximity () =
+  let net = make_net () in
+  let t_deliver = ref 0.0 in
+  let a = Net.register net ~handler:(fun _ _ -> t_deliver := Net.now net) in
+  let b = Net.register net ~handler:(fun _ _ -> ()) in
+  let d = Net.proximity net a b in
+  Net.send net ~src:b ~dst:a "x";
+  Net.run net;
+  check Alcotest.bool "latency ~ proximity" true (abs_float (!t_deliver -. d) < 0.02)
+
+let loss_rate_statistical () =
+  let net = make_net ~loss_rate:0.25 () in
+  let got = ref 0 in
+  let a = Net.register net ~handler:(fun _ _ -> incr got) in
+  let b = Net.register net ~handler:(fun _ _ -> ()) in
+  let n = 4000 in
+  for _ = 1 to n do
+    Net.send net ~src:b ~dst:a "x"
+  done;
+  Net.run net;
+  let rate = 1.0 -. (float_of_int !got /. float_of_int n) in
+  check Alcotest.bool "loss near 25%" true (abs_float (rate -. 0.25) < 0.03)
+
+let counters () =
+  let net = make_net () in
+  let a = Net.register net ~handler:(fun _ _ -> ()) in
+  let b = Net.register net ~handler:(fun _ _ -> ()) in
+  Net.send net ~src:a ~dst:b "m";
+  Net.run net;
+  check Alcotest.int "sent" 1 (Net.messages_sent net);
+  check Alcotest.int "delivered" 1 (Net.messages_delivered net);
+  Net.reset_counters net;
+  check Alcotest.int "reset" 0 (Net.messages_sent net)
+
+let send_tap_observes () =
+  let net = make_net () in
+  let a = Net.register net ~handler:(fun _ _ -> ()) in
+  let b = Net.register net ~handler:(fun _ _ -> ()) in
+  let tapped = ref [] in
+  Net.set_send_tap net (fun ~src ~dst msg -> tapped := (src, dst, msg) :: !tapped);
+  Net.send net ~src:a ~dst:b "x";
+  Net.clear_send_tap net;
+  Net.send net ~src:a ~dst:b "y";
+  Net.run net;
+  check Alcotest.int "one tapped" 1 (List.length !tapped)
+
+let step_one_event () =
+  let net = make_net () in
+  let count = ref 0 in
+  Net.schedule net ~delay:1.0 (fun () -> incr count);
+  Net.schedule net ~delay:2.0 (fun () -> incr count);
+  check Alcotest.bool "step true" true (Net.step net);
+  check Alcotest.int "one fired" 1 !count;
+  ignore (Net.step net);
+  check Alcotest.bool "empty" false (Net.step net)
+
+let node_count_tracks () =
+  let net = make_net () in
+  ignore (Net.register net ~handler:(fun _ _ -> ()));
+  ignore (Net.register net ~handler:(fun _ _ -> ()));
+  check Alcotest.int "two nodes" 2 (Net.node_count net)
+
+let suite =
+  ( "simnet",
+    [
+      "topology symmetry/bounds" => all_topologies;
+      "plane self distance" => plane_self_distance;
+      "sphere self distance" => sphere_self_distance;
+      "transit-stub hierarchy" => transit_stub_hierarchy;
+      "delivery roundtrip" => delivery_roundtrip;
+      "time ordering" => time_ordering;
+      "clock advances" => clock_advances;
+      "run ~until bounds" => run_until_bounds;
+      "dead node drops" => dead_node_drops;
+      "latency proportional" => latency_proportional_to_proximity;
+      "loss rate statistical" => loss_rate_statistical;
+      "counters" => counters;
+      "send tap" => send_tap_observes;
+      "step" => step_one_event;
+      "node count" => node_count_tracks;
+    ] )

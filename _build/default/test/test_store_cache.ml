@@ -1,0 +1,242 @@
+(* Store (storage management, §2.3) and Cache (GD-S / LRU). *)
+
+module Store = Past_core.Store
+module Cache = Past_core.Cache
+module Cert = Past_core.Certificate
+module Smartcard = Past_core.Smartcard
+module Broker = Past_core.Broker
+module Id = Past_id.Id
+module Rng = Past_stdext.Rng
+module Peer = Past_pastry.Peer
+
+let check = Alcotest.check
+let ( => ) name f = Alcotest.test_case name `Quick f
+
+let broker = lazy (Broker.create ~mode:`Insecure (Rng.create 60))
+
+let card =
+  lazy
+    (match Broker.issue_card (Lazy.force broker) ~quota:max_int ~contributed:0 with
+    | Ok c -> c
+    | Error _ -> assert false)
+
+let counter = ref 0
+
+let cert_of_size size =
+  incr counter;
+  match
+    Smartcard.issue_file_certificate (Lazy.force card)
+      ~name:(Printf.sprintf "f%d" !counter)
+      ~data:"" ~declared_size:size ~replication:1 ~now:0.0 ()
+  with
+  | Ok c -> c
+  | Error _ -> assert false
+
+(* --- Store --- *)
+
+let store_accounting () =
+  let s = Store.create ~capacity:1000 () in
+  check Alcotest.int "capacity" 1000 (Store.capacity s);
+  check Alcotest.int "free" 1000 (Store.free s);
+  let c = cert_of_size 50 in
+  (match Store.put s ~cert:c ~data:"" ~kind:Store.Primary with
+  | Ok () -> ()
+  | Error `Refused -> Alcotest.fail "should admit");
+  check Alcotest.int "used" 50 (Store.used s);
+  check Alcotest.int "files" 1 (Store.file_count s);
+  check (Alcotest.float 1e-9) "utilization" 0.05 (Store.utilization s);
+  (match Store.remove s c.Cert.file_id with
+  | Some e -> check Alcotest.int "removed size" 50 e.Store.cert.Cert.size
+  | None -> Alcotest.fail "entry missing");
+  check Alcotest.int "freed" 0 (Store.used s);
+  check Alcotest.bool "second remove none" true (Store.remove s c.Cert.file_id = None)
+
+let store_get_mem () =
+  let s = Store.create ~capacity:1000 () in
+  let c = cert_of_size 10 in
+  ignore (Store.put s ~cert:c ~data:"body" ~kind:Store.Primary);
+  check Alcotest.bool "mem" true (Store.mem s c.Cert.file_id);
+  (match Store.get s c.Cert.file_id with
+  | Some e -> check Alcotest.string "data" "body" e.Store.data
+  | None -> Alcotest.fail "missing");
+  check Alcotest.bool "absent" false (Store.mem s (Id.random (Rng.create 1) ~width:160))
+
+let store_overwrite_same_id () =
+  let s = Store.create ~capacity:1000 () in
+  let c = cert_of_size 100 in
+  ignore (Store.put s ~cert:c ~data:"" ~kind:Store.Primary);
+  ignore (Store.put s ~cert:c ~data:"" ~kind:Store.Primary);
+  check Alcotest.int "no double counting" 100 (Store.used s);
+  check Alcotest.int "one file" 1 (Store.file_count s)
+
+let store_threshold_rule () =
+  (* t_pri = 0.1: a file is admitted iff size <= 0.1 * free. *)
+  let s = Store.create ~capacity:1000 ~t_pri:0.1 ~t_div:0.05 () in
+  check Alcotest.bool "small primary ok" true (Store.admits s ~size:100 ~kind:`Primary);
+  check Alcotest.bool "large primary refused" false (Store.admits s ~size:101 ~kind:`Primary);
+  check Alcotest.bool "diverted stricter" false (Store.admits s ~size:51 ~kind:`Diverted);
+  check Alcotest.bool "diverted ok" true (Store.admits s ~size:50 ~kind:`Diverted);
+  (* The rule tightens as the store fills. *)
+  ignore (Store.put s ~cert:(cert_of_size 100) ~data:"" ~kind:Store.Primary);
+  check Alcotest.bool "tightened" false (Store.admits s ~size:100 ~kind:`Primary);
+  check Alcotest.bool "smaller still ok" true (Store.admits s ~size:90 ~kind:`Primary)
+
+let store_put_respects_threshold () =
+  let s = Store.create ~capacity:1000 ~t_pri:0.1 () in
+  match Store.put s ~cert:(cert_of_size 500) ~data:"" ~kind:Store.Primary with
+  | Ok () -> Alcotest.fail "must refuse"
+  | Error `Refused -> check Alcotest.int "nothing stored" 0 (Store.used s)
+
+let store_force_put_ignores_threshold () =
+  let s = Store.create ~capacity:1000 ~t_pri:0.1 () in
+  (match Store.force_put s ~cert:(cert_of_size 900) ~data:"" ~kind:Store.Primary with
+  | Ok () -> ()
+  | Error `Refused -> Alcotest.fail "fits capacity");
+  match Store.force_put s ~cert:(cert_of_size 200) ~data:"" ~kind:Store.Primary with
+  | Ok () -> Alcotest.fail "exceeds capacity"
+  | Error `Refused -> ()
+
+let store_diverted_kind () =
+  let s = Store.create ~capacity:1000 () in
+  let owner = Id.random (Rng.create 2) ~width:128 in
+  let c = cert_of_size 10 in
+  ignore (Store.put s ~cert:c ~data:"" ~kind:(Store.Diverted { on_behalf = owner }));
+  match Store.get s c.Cert.file_id with
+  | Some { Store.kind = Store.Diverted { on_behalf }; _ } ->
+    check Alcotest.bool "owner recorded" true (Id.equal on_behalf owner)
+  | _ -> Alcotest.fail "kind lost"
+
+let store_pointers () =
+  let s = Store.create ~capacity:1000 () in
+  let fid = Id.random (Rng.create 3) ~width:160 in
+  let holder = Peer.make ~id:(Id.random (Rng.create 4) ~width:128) ~addr:7 in
+  check Alcotest.bool "no pointer" true (Store.pointer s fid = None);
+  Store.add_pointer s ~file_id:fid ~holder;
+  (match Store.pointer s fid with
+  | Some p -> check Alcotest.int "holder" 7 p.Peer.addr
+  | None -> Alcotest.fail "pointer missing");
+  check Alcotest.int "count" 1 (Store.pointer_count s);
+  Store.remove_pointer s fid;
+  check Alcotest.bool "removed" true (Store.pointer s fid = None)
+
+let qcheck_store_never_overflows =
+  QCheck.Test.make ~name:"store never exceeds capacity" ~count:100
+    QCheck.(pair small_int (list (int_range 1 300)))
+    (fun (_, sizes) ->
+      let s = Store.create ~capacity:1000 () in
+      List.iter
+        (fun size -> ignore (Store.force_put s ~cert:(cert_of_size size) ~data:"" ~kind:Store.Primary))
+        sizes;
+      Store.used s <= Store.capacity s && Store.free s >= 0)
+
+(* --- Cache --- *)
+
+let cache_no_cache_policy () =
+  let c = Cache.create Cache.No_cache in
+  Cache.set_budget c 10_000;
+  check Alcotest.bool "offer rejected" false (Cache.offer c ~cert:(cert_of_size 10) ~data:"");
+  check Alcotest.int "empty" 0 (Cache.entry_count c)
+
+let cache_stores_and_hits () =
+  let c = Cache.create Cache.Gds in
+  Cache.set_budget c 10_000;
+  let cert = cert_of_size 100 in
+  check Alcotest.bool "offer accepted" true (Cache.offer c ~cert ~data:"payload");
+  (match Cache.find c cert.Cert.file_id with
+  | Some (_, data) -> check Alcotest.string "data" "payload" data
+  | None -> Alcotest.fail "miss");
+  check Alcotest.int "hit counted" 1 (Cache.hits c);
+  ignore (Cache.find c (Id.random (Rng.create 5) ~width:160));
+  check Alcotest.int "miss counted" 1 (Cache.misses c)
+
+let cache_respects_budget () =
+  let c = Cache.create Cache.Lru in
+  Cache.set_budget c 250;
+  for _ = 1 to 10 do
+    ignore (Cache.offer c ~cert:(cert_of_size 100) ~data:"")
+  done;
+  check Alcotest.bool "within budget" true (Cache.used c <= 250);
+  check Alcotest.int "two fit" 2 (Cache.entry_count c)
+
+let cache_shrinking_budget_evicts () =
+  let c = Cache.create Cache.Gds in
+  Cache.set_budget c 1000;
+  for _ = 1 to 5 do
+    ignore (Cache.offer c ~cert:(cert_of_size 100) ~data:"")
+  done;
+  check Alcotest.int "five cached" 5 (Cache.entry_count c);
+  Cache.set_budget c 200;
+  check Alcotest.bool "evicted to fit" true (Cache.used c <= 200)
+
+let cache_lru_evicts_least_recent () =
+  let c = Cache.create Cache.Lru in
+  Cache.set_budget c 200;
+  let a = cert_of_size 100 and b = cert_of_size 100 in
+  ignore (Cache.offer c ~cert:a ~data:"");
+  ignore (Cache.offer c ~cert:b ~data:"");
+  (* touch a so b is least recent *)
+  ignore (Cache.find c a.Cert.file_id);
+  ignore (Cache.offer c ~cert:(cert_of_size 100) ~data:"");
+  check Alcotest.bool "a survives" true (Cache.mem c a.Cert.file_id);
+  check Alcotest.bool "b evicted" false (Cache.mem c b.Cert.file_id)
+
+let cache_gds_prefers_small () =
+  (* With equal recency, GD-S weight L + 1/size favours small files. *)
+  let c = Cache.create Cache.Gds in
+  Cache.set_budget c 1000;
+  let big = cert_of_size 900 and small = cert_of_size 90 in
+  ignore (Cache.offer c ~cert:big ~data:"");
+  ignore (Cache.offer c ~cert:small ~data:"");
+  (* small (weight 1/90) + big (1/900): inserting another small file
+     of size 90 must evict the big one, not the small one. *)
+  let another = cert_of_size 90 in
+  ignore (Cache.offer c ~cert:another ~data:"");
+  check Alcotest.bool "big evicted" false (Cache.mem c big.Cert.file_id);
+  check Alcotest.bool "small kept" true (Cache.mem c small.Cert.file_id);
+  check Alcotest.bool "newcomer kept" true (Cache.mem c another.Cert.file_id)
+
+let cache_oversized_file_rejected () =
+  let c = Cache.create Cache.Gds in
+  Cache.set_budget c 100;
+  check Alcotest.bool "too big" false (Cache.offer c ~cert:(cert_of_size 200) ~data:"")
+
+let cache_remove () =
+  let c = Cache.create Cache.Gds in
+  Cache.set_budget c 1000;
+  let cert = cert_of_size 100 in
+  ignore (Cache.offer c ~cert ~data:"");
+  Cache.remove c cert.Cert.file_id;
+  check Alcotest.bool "gone" false (Cache.mem c cert.Cert.file_id);
+  check Alcotest.int "space back" 0 (Cache.used c)
+
+let qcheck_cache_within_budget =
+  QCheck.Test.make ~name:"cache used <= budget always" ~count:100
+    QCheck.(list (int_range 1 200))
+    (fun sizes ->
+      let c = Cache.create Cache.Gds in
+      Cache.set_budget c 500;
+      List.iter (fun size -> ignore (Cache.offer c ~cert:(cert_of_size size) ~data:"")) sizes;
+      Cache.used c <= 500)
+
+let suite =
+  ( "store-cache",
+    [
+      "store accounting" => store_accounting;
+      "store get/mem" => store_get_mem;
+      "store overwrite same id" => store_overwrite_same_id;
+      "store threshold rule" => store_threshold_rule;
+      "store put respects threshold" => store_put_respects_threshold;
+      "store force_put" => store_force_put_ignores_threshold;
+      "store diverted kind" => store_diverted_kind;
+      "store pointers" => store_pointers;
+      QCheck_alcotest.to_alcotest qcheck_store_never_overflows;
+      "cache no-cache policy" => cache_no_cache_policy;
+      "cache stores and hits" => cache_stores_and_hits;
+      "cache respects budget" => cache_respects_budget;
+      "cache shrink evicts" => cache_shrinking_budget_evicts;
+      "cache LRU eviction order" => cache_lru_evicts_least_recent;
+      "cache GD-S prefers small" => cache_gds_prefers_small;
+      "cache oversized rejected" => cache_oversized_file_rejected;
+      "cache remove" => cache_remove;
+      QCheck_alcotest.to_alcotest qcheck_cache_within_budget;
+    ] )

@@ -1,0 +1,181 @@
+module Sizes = Past_workload.Sizes
+module Capacities = Past_workload.Capacities
+module Popularity = Past_workload.Popularity
+module Rng = Past_stdext.Rng
+module Stats = Past_stdext.Stats
+
+let check = Alcotest.check
+let ( => ) name f = Alcotest.test_case name `Quick f
+
+let sizes_positive () =
+  let rng = Rng.create 1 in
+  List.iter
+    (fun (name, dist) ->
+      for _ = 1 to 2000 do
+        let v = Sizes.draw dist rng in
+        if v < 1 then Alcotest.failf "%s produced %d" name v
+      done)
+    [ ("web_proxy", Sizes.web_proxy ()); ("filesystem", Sizes.filesystem ()) ]
+
+let sizes_web_proxy_mean () =
+  let rng = Rng.create 2 in
+  let s = Stats.create () in
+  let d = Sizes.web_proxy () in
+  for _ = 1 to 30_000 do
+    Stats.add_int s (Sizes.draw d rng)
+  done;
+  (* heavy-tailed: mean is noisy, accept a broad band around 10 kB *)
+  let m = Stats.mean s in
+  check Alcotest.bool (Printf.sprintf "mean %.0f in [5k, 40k]" m) true (m > 5_000.0 && m < 40_000.0);
+  check Alcotest.bool "median well below mean (heavy tail)" true (Stats.median s < m)
+
+let sizes_fixed_and_uniform () =
+  let rng = Rng.create 3 in
+  check Alcotest.int "fixed" 777 (Sizes.draw (Sizes.fixed 777) rng);
+  let u = Sizes.uniform ~lo:10 ~hi:20 in
+  for _ = 1 to 1000 do
+    let v = Sizes.draw u rng in
+    if v < 10 || v > 20 then Alcotest.failf "uniform out of range %d" v
+  done;
+  check (Alcotest.float 1e-9) "uniform mean" 15.0 (Sizes.mean u)
+
+let sizes_custom () =
+  let rng = Rng.create 4 in
+  let c = Sizes.custom ~mean:5.0 (fun _ -> 5) in
+  check Alcotest.int "custom sampler" 5 (Sizes.draw c rng);
+  check (Alcotest.float 1e-9) "custom mean" 5.0 (Sizes.mean c)
+
+let capacities_truncation () =
+  let rng = Rng.create 5 in
+  let c = Capacities.normal_truncated ~mean:1000 ~cv:2.0 in
+  for _ = 1 to 5000 do
+    let v = Capacities.draw c rng in
+    if v < 100 || v > 10_000 then Alcotest.failf "outside truncation: %d" v
+  done
+
+let capacities_classes () =
+  let rng = Rng.create 6 in
+  let c = Capacities.classes [ (0.5, 100); (0.5, 900) ] in
+  check (Alcotest.float 1e-9) "mean" 500.0 (Capacities.mean c);
+  let small = ref 0 and big = ref 0 in
+  for _ = 1 to 10_000 do
+    match Capacities.draw c rng with
+    | 100 -> incr small
+    | 900 -> incr big
+    | v -> Alcotest.failf "unexpected class %d" v
+  done;
+  check Alcotest.bool "roughly balanced" true (abs (!small - !big) < 600)
+
+let capacities_fixed () =
+  let rng = Rng.create 7 in
+  check Alcotest.int "fixed" 42 (Capacities.draw (Capacities.fixed 42) rng)
+
+let popularity_zipf () =
+  let rng = Rng.create 8 in
+  let p = Popularity.zipf ~s:1.0 ~n:20 in
+  check Alcotest.int "size" 20 (Popularity.size p);
+  let counts = Array.make 20 0 in
+  for _ = 1 to 20_000 do
+    let i = Popularity.draw p rng in
+    counts.(i) <- counts.(i) + 1
+  done;
+  check Alcotest.bool "rank 0 most popular" true (counts.(0) > counts.(5));
+  check Alcotest.bool "long tail exists" true (counts.(19) > 0);
+  let total = List.fold_left (fun acc i -> acc +. Popularity.pmf p i) 0.0 (List.init 20 Fun.id) in
+  check Alcotest.bool "pmf sums to 1" true (abs_float (total -. 1.0) < 1e-6)
+
+let popularity_uniform () =
+  let rng = Rng.create 9 in
+  let p = Popularity.uniform ~n:10 in
+  for _ = 1 to 1000 do
+    let i = Popularity.draw p rng in
+    if i < 0 || i >= 10 then Alcotest.failf "out of range %d" i
+  done;
+  check (Alcotest.float 1e-9) "uniform pmf" 0.1 (Popularity.pmf p 3)
+
+module Generator = Past_workload.Generator
+
+let generator_schedule_ordered () =
+  let rng = Rng.create 10 in
+  let events = Generator.schedule Generator.default_profile ~rng ~horizon:500.0 in
+  check Alcotest.bool "non-empty" true (events <> []);
+  let rec ordered = function
+    | a :: (b :: _ as rest) -> a.Generator.at <= b.Generator.at && ordered rest
+    | _ -> true
+  in
+  check Alcotest.bool "sorted by time" true (ordered events);
+  List.iter
+    (fun e ->
+      if e.Generator.at < 0.0 || e.Generator.at >= 500.0 then Alcotest.fail "outside horizon")
+    events
+
+let generator_first_op_is_insert () =
+  let rng = Rng.create 11 in
+  match Generator.schedule Generator.default_profile ~rng ~horizon:1000.0 with
+  | { Generator.op = Generator.Insert _; _ } :: _ -> ()
+  | _ :: _ -> Alcotest.fail "lookup/reclaim before any insert"
+  | [] -> Alcotest.fail "empty schedule"
+
+let generator_lookup_targets_valid () =
+  let rng = Rng.create 12 in
+  let events = Generator.schedule Generator.default_profile ~rng ~horizon:2000.0 in
+  let catalog = ref 0 in
+  List.iter
+    (fun e ->
+      match e.Generator.op with
+      | Generator.Insert _ -> incr catalog
+      | Generator.Lookup { catalog_index } | Generator.Reclaim { catalog_index } ->
+        if catalog_index < 0 || catalog_index >= !catalog then
+          Alcotest.failf "target %d outside catalog of %d" catalog_index !catalog)
+    events
+
+let generator_mix_respected () =
+  let rng = Rng.create 13 in
+  let events = Generator.schedule Generator.default_profile ~rng ~horizon:20_000.0 in
+  let ins = ref 0 and lk = ref 0 and rc = ref 0 in
+  List.iter
+    (fun e ->
+      match e.Generator.op with
+      | Generator.Insert _ -> incr ins
+      | Generator.Lookup _ -> incr lk
+      | Generator.Reclaim _ -> incr rc)
+    events;
+  let total = float_of_int (!ins + !lk + !rc) in
+  check Alcotest.bool "lookups dominate" true (float_of_int !lk /. total > 0.6);
+  check Alcotest.bool "reclaims rare" true (float_of_int !rc /. total < 0.12)
+
+let churn_alternates () =
+  let rng = Rng.create 14 in
+  let events =
+    Generator.churn_schedule ~rng ~horizon:100_000.0 ~mean_time_to_failure:5_000.0
+      ~mean_downtime:1_000.0
+  in
+  check Alcotest.bool "non-empty" true (events <> []);
+  (match events with
+  | first :: _ ->
+    check Alcotest.bool "starts with a failure" true (first.Generator.kind = `Fail)
+  | [] -> ());
+  let rec alternates = function
+    | a :: (b :: _ as rest) -> a.Generator.kind <> b.Generator.kind && alternates rest
+    | _ -> true
+  in
+  check Alcotest.bool "fail/recover alternate" true (alternates events)
+
+let suite =
+  ( "workload",
+    [
+      "sizes positive" => sizes_positive;
+      "web proxy mean" => sizes_web_proxy_mean;
+      "fixed and uniform sizes" => sizes_fixed_and_uniform;
+      "custom sizes" => sizes_custom;
+      "capacities truncation" => capacities_truncation;
+      "capacities classes" => capacities_classes;
+      "capacities fixed" => capacities_fixed;
+      "popularity zipf" => popularity_zipf;
+      "popularity uniform" => popularity_uniform;
+      "generator schedule ordered" => generator_schedule_ordered;
+      "generator first op is insert" => generator_first_op_is_insert;
+      "generator targets valid" => generator_lookup_targets_valid;
+      "generator mix respected" => generator_mix_respected;
+      "churn alternates" => churn_alternates;
+    ] )
