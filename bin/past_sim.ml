@@ -3,7 +3,10 @@
    `past_sim all` regenerates every table; `past_sim <name>` runs one
    experiment. `--scale` trades sampling effort for time (it sets
    PAST_SCALE for the experiment runners; structural parameters are
-   never scaled). *)
+   never scaled). `--json` emits the tables as JSON instead of text;
+   `--trace N` appends the first N reconstructed route traces when the
+   experiment records them. `past_sim metrics` runs a small end-to-end
+   workload and dumps the telemetry registry snapshot. *)
 
 open Cmdliner
 
@@ -16,27 +19,47 @@ let scale_arg =
   in
   Arg.(value & opt (some float) None & info [ "s"; "scale" ] ~docv:"FACTOR" ~doc)
 
+let json_arg =
+  let doc = "Emit results as JSON (one object per experiment, with its tables) on stdout." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let trace_arg =
+  let doc =
+    "Print the first $(docv) reconstructed route traces (hop-by-hop, with the routing stage \
+     that chose each hop). Only experiments that retain their telemetry registry produce \
+     traces."
+  in
+  Arg.(value & opt int 0 & info [ "trace" ] ~docv:"N" ~doc)
+
 let apply_scale scale =
   match scale with
   | Some f when f > 0.0 -> Unix.putenv "PAST_SCALE" (string_of_float f)
   | Some _ -> prerr_endline "ignoring non-positive --scale"
   | None -> ()
 
-let run_cmd name print =
+let run_cmd name =
   let doc = Printf.sprintf "Run the %s experiment and print its table(s)." name in
-  let f scale =
+  let f scale json trace =
     apply_scale scale;
-    print ()
+    Past_experiments.Report.run_named ~json ~trace name
   in
-  Cmd.v (Cmd.info name ~doc) Term.(const f $ scale_arg)
+  Cmd.v (Cmd.info name ~doc) Term.(const f $ scale_arg $ json_arg $ trace_arg)
 
 let all_cmd =
   let doc = "Run every experiment (regenerates all tables)." in
-  let f scale =
+  let f scale json trace =
     apply_scale scale;
-    Past_experiments.Report.run_all ()
+    Past_experiments.Report.run_all ~json ~trace ()
   in
-  Cmd.v (Cmd.info "all" ~doc) Term.(const f $ scale_arg)
+  Cmd.v (Cmd.info "all" ~doc) Term.(const f $ scale_arg $ json_arg $ trace_arg)
+
+let metrics_cmd =
+  let doc =
+    "Run a small end-to-end PAST workload and dump the telemetry registry snapshot (message \
+     counters, routing-stage counters, storage metrics, latency histogram)."
+  in
+  let f json trace = Past_experiments.Report.metrics ~json ~trace () in
+  Cmd.v (Cmd.info "metrics" ~doc) Term.(const f $ json_arg $ trace_arg)
 
 let list_cmd =
   let doc = "List available experiments." in
@@ -47,7 +70,7 @@ let () =
   let doc = "PAST reproduction: run the paper's experiments on the simulator" in
   let info = Cmd.info "past_sim" ~version:"1.0.0" ~doc in
   let subcommands =
-    all_cmd :: list_cmd
-    :: List.map (fun (name, print) -> run_cmd name print) Past_experiments.Report.all
+    all_cmd :: list_cmd :: metrics_cmd
+    :: List.map (fun (name, _) -> run_cmd name) Past_experiments.Report.all
   in
   exit (Cmd.eval (Cmd.group info subcommands))

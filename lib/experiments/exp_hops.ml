@@ -26,12 +26,18 @@ type row = {
   misdelivered : int;
 }
 
-type result = { rows : row list; params : params }
+type result = {
+  rows : row list;
+  params : params;
+  registries : (int * Past_telemetry.Registry.t) list;
+      (** per-N telemetry (route traces live in the registry's tracer) *)
+}
 
 let config_of params =
   { Config.default with Config.b = params.b; leaf_set_size = params.leaf_set_size }
 
 let run params =
+  let registries = ref [] in
   let rows =
     List.map
       (fun n ->
@@ -40,6 +46,7 @@ let run params =
         in
         Overlay.build_static overlay ~n;
         let stats = Harness.random_lookups overlay ~lookups:params.lookups in
+        registries := (n, Overlay.registry overlay) :: !registries;
         {
           n;
           avg_hops = Stats.mean stats.Harness.hops;
@@ -51,9 +58,9 @@ let run params =
         })
       params.ns
   in
-  { rows; params }
+  { rows; params; registries = List.rev !registries }
 
-let table { rows; params } =
+let table { rows; params; _ } =
   let t =
     Text_table.create
       [ "N"; "avg hops"; "p95"; "max"; "ceil(log_2^b N)"; "delivered"; "misrouted" ]

@@ -29,7 +29,17 @@ type row = {
 type result = { rows : row list }
 
 let count_ctl overlay =
-  Array.fold_left (fun acc node -> acc + Node.control_messages node) 0 (Overlay.nodes overlay)
+  Past_telemetry.Counter.value
+    (Past_telemetry.Registry.counter (Overlay.registry overlay) "pastry.control_sent")
+
+(* Repair traffic, read from the network's per-kind counters:
+   leaf-set state exchanges plus the keep-alives burned on the dead
+   node. Only the victim is dead and loss is off, so every dropped
+   keepalive in the window was addressed to the victim. *)
+let count_repair net =
+  let sent kind = match Net.counters_for_kind net kind with s, _, _ -> s in
+  let dropped kind = match Net.counters_for_kind net kind with _, _, d -> d in
+  sent "leaf_request" + sent "leaf_reply" + dropped "keepalive"
 
 let run params =
   let config = Config.default in
@@ -65,20 +75,13 @@ let run params =
           (* Let ticks reach steady state before injecting the fault. *)
           Overlay.run ~until:(Net.now net +. window) overlay;
           let victim = Overlay.random_live_node overlay in
-          let victim_addr = Node.addr victim in
-          let repair = ref 0 in
-          Net.set_send_tap net (fun ~src:_ ~dst msg ->
-              match msg with
-              | Past_pastry.Message.Leaf_request _ | Past_pastry.Message.Leaf_reply _ ->
-                incr repair
-              | Past_pastry.Message.Keepalive _ when dst = victim_addr -> incr repair
-              | _ -> ());
+          let before = count_repair net in
           Overlay.kill overlay victim;
           Overlay.run ~until:(Net.now net +. window) overlay;
-          Net.clear_send_tap net;
+          let repair = count_repair net - before in
           Overlay.stop_maintenance overlay;
           Overlay.run ~until:(Net.now net +. window) overlay;
-          Stats.add_int repair_stats !repair
+          Stats.add_int repair_stats repair
         done;
         {
           n;

@@ -8,6 +8,8 @@ module Overlay = Past_pastry.Overlay
 module Node = Past_pastry.Node
 module Stats = Past_stdext.Stats
 module Rng = Past_stdext.Rng
+module Registry = Past_telemetry.Registry
+module Counter = Past_telemetry.Counter
 
 type probe = unit
 
@@ -27,43 +29,54 @@ let null_app =
     on_leaf_change = (fun () -> ());
   }
 
-(* Install a delivery recorder on all nodes. Returns the mutable stats
-   record updated as messages arrive. *)
+(* Install a delivery recorder on all nodes, backed by the overlay's
+   telemetry counters. Returns the sent counter (the caller increments
+   it per lookup fired) and a snapshot closure producing the counts
+   accumulated since installation. *)
 let install_recorder (overlay : probe Overlay.t) =
-  let stats =
-    { sent = 0; delivered = 0; misdelivered = 0; hops = Stats.create (); dist = Stats.create () }
-  in
-  let stats = ref stats in
+  let reg = Overlay.registry overlay in
+  let c_sent = Registry.counter reg "harness.lookups.sent" in
+  let c_delivered = Registry.counter reg "harness.lookups.delivered" in
+  let c_misdelivered = Registry.counter reg "harness.lookups.misdelivered" in
+  let base_sent = Counter.value c_sent in
+  let base_delivered = Counter.value c_delivered in
+  let base_misdelivered = Counter.value c_misdelivered in
+  let hops = Stats.create () in
+  let dist = Stats.create () in
   Overlay.install_apps overlay (fun node ->
       {
         null_app with
         Node.deliver =
           (fun ~key _ info ->
-            let s = !stats in
             let correct =
               Node.addr (Overlay.closest_live_node overlay key) = Node.addr node
             in
-            Stats.add_int s.hops info.Node.hops;
-            Stats.add s.dist info.Node.dist;
-            stats :=
-              {
-                s with
-                delivered = s.delivered + 1;
-                misdelivered = (s.misdelivered + if correct then 0 else 1);
-              });
+            Stats.add_int hops info.Node.hops;
+            Stats.add dist info.Node.dist;
+            Counter.incr c_delivered;
+            if not correct then Counter.incr c_misdelivered);
       });
-  stats
+  let snapshot () =
+    {
+      sent = Counter.value c_sent - base_sent;
+      delivered = Counter.value c_delivered - base_delivered;
+      misdelivered = Counter.value c_misdelivered - base_misdelivered;
+      hops;
+      dist;
+    }
+  in
+  (c_sent, snapshot)
 
 let random_lookups (overlay : probe Overlay.t) ~lookups =
-  let stats = install_recorder overlay in
+  let c_sent, snapshot = install_recorder overlay in
   let rng = Overlay.rng overlay in
   for _ = 1 to lookups do
     let key = Id.random rng ~width:Id.node_bits in
     let src = Overlay.random_live_node overlay in
     Node.route src ~key ();
-    stats := { !stats with sent = !stats.sent + 1 }
+    Counter.incr c_sent
   done;
   Overlay.run overlay;
-  !stats
+  snapshot ()
 
 let log2b n b = log (float_of_int n) /. log (float_of_int (1 lsl b))

@@ -4,7 +4,17 @@
    PAST_SCALE (default 1.0) multiplies the sampling effort (lookup
    counts, trials) of each experiment: 0.2 gives a fast smoke pass,
    1.0 the EXPERIMENTS.md numbers. Structural parameters (network
-   sizes, k, thresholds) are never scaled — they define the experiment. *)
+   sizes, k, thresholds) are never scaled — they define the experiment.
+
+   Each experiment produces named tables; [run_all]/[run_named] render
+   them as text (the default) or as machine-readable JSON, and can
+   append reconstructed route traces when the experiment kept its
+   telemetry registry around. *)
+
+module Text_table = Past_stdext.Text_table
+module Json = Past_stdext.Json
+module Registry = Past_telemetry.Registry
+module Trace = Past_telemetry.Trace
 
 let scale () =
   match Sys.getenv_opt "PAST_SCALE" with
@@ -14,32 +24,59 @@ let scale () =
 let s_int ?(min_value = 10) base =
   Stdlib.max min_value (int_of_float (float_of_int base *. scale ()))
 
-let print_hops () =
+type output = {
+  tables : (string * Text_table.t) list;  (** (title, table) in print order *)
+  trace_registry : Registry.t option;
+      (** registry whose tracer holds this run's route traces, when the
+          experiment retains one *)
+}
+
+let tables ts = { tables = ts; trace_registry = None }
+
+let run_hops () =
   let p = Exp_hops.default_params in
-  Past_stdext.Text_table.print
-    ~title:"EXP1: average route length vs network size (paper: < ceil(log16 N))"
-    (Exp_hops.table (Exp_hops.run { p with Exp_hops.lookups = s_int p.Exp_hops.lookups }));
+  let r = Exp_hops.run { p with Exp_hops.lookups = s_int p.Exp_hops.lookups } in
   let d = Exp_hops.default_dist_params in
-  Past_stdext.Text_table.print ~title:"EXP2: hop-count distribution"
-    (Exp_hops.dist_table
-       (Exp_hops.run_distribution { d with Exp_hops.dlookups = s_int d.Exp_hops.dlookups }))
+  let dist =
+    Exp_hops.run_distribution { d with Exp_hops.dlookups = s_int d.Exp_hops.dlookups }
+  in
+  {
+    tables =
+      [
+        ( "EXP1: average route length vs network size (paper: < ceil(log16 N))",
+          Exp_hops.table r );
+        ("EXP2: hop-count distribution", Exp_hops.dist_table dist);
+      ];
+    trace_registry =
+      (match r.Exp_hops.registries with (_, reg) :: _ -> Some reg | [] -> None);
+  }
 
-let print_state () = Exp_state.print ()
+let run_state () =
+  tables
+    [
+      ( "EXP3: per-node state vs formula (2^b-1)*ceil(log_2^b N) + 2l",
+        Exp_state.table (Exp_state.run Exp_state.default_params) );
+    ]
 
-let print_locality () =
+let run_locality () =
   let p = Exp_locality.default_params in
-  Past_stdext.Text_table.print
-    ~title:"EXP4: locality — route distance vs direct distance (paper: ~1.5x with locality)"
-    (Exp_locality.table
-       (Exp_locality.run { p with Exp_locality.lookups = s_int p.Exp_locality.lookups }))
+  tables
+    [
+      ( "EXP4: locality — route distance vs direct distance (paper: ~1.5x with locality)",
+        Exp_locality.table
+          (Exp_locality.run { p with Exp_locality.lookups = s_int p.Exp_locality.lookups }) );
+    ]
 
-let print_replica () =
+let run_replica () =
   let p = Exp_replica.default_params in
-  Past_stdext.Text_table.print ~title:"EXP5: which of the k=5 replicas serves a lookup"
-    (Exp_replica.table
-       (Exp_replica.run { p with Exp_replica.lookups = s_int p.Exp_replica.lookups }))
+  tables
+    [
+      ( "EXP5: which of the k=5 replicas serves a lookup",
+        Exp_replica.table
+          (Exp_replica.run { p with Exp_replica.lookups = s_int p.Exp_replica.lookups }) );
+    ]
 
-let print_failures () =
+let run_failures () =
   let p = Exp_failures.default_params in
   let r =
     Exp_failures.run
@@ -49,80 +86,214 @@ let print_failures () =
         lookups_per_trial = s_int p.Exp_failures.lookups_per_trial;
       }
   in
-  Past_stdext.Text_table.print
-    ~title:
-      (Printf.sprintf
-         "EXP6: delivery under m simultaneous adjacent failures (l=%d, guarantee holds for m < %d)"
-         p.Exp_failures.leaf_set_size r.Exp_failures.half)
-    (Exp_failures.table r)
+  tables
+    [
+      ( Printf.sprintf
+          "EXP6: delivery under m simultaneous adjacent failures (l=%d, guarantee holds for m \
+           < %d)"
+          p.Exp_failures.leaf_set_size r.Exp_failures.half,
+        Exp_failures.table r );
+    ]
 
-let print_maintenance () =
+let run_maintenance () =
   let p = Exp_maintenance.default_params in
-  Past_stdext.Text_table.print
-    ~title:"EXP7: join and failure-repair message cost (paper: O(log_2^b N))"
-    (Exp_maintenance.table
-       (Exp_maintenance.run
-          {
-            p with
-            Exp_maintenance.join_samples = s_int ~min_value:5 p.Exp_maintenance.join_samples;
-            fail_samples = s_int ~min_value:2 p.Exp_maintenance.fail_samples;
-          }))
+  tables
+    [
+      ( "EXP7: join and failure-repair message cost (paper: O(log_2^b N))",
+        Exp_maintenance.table
+          (Exp_maintenance.run
+             {
+               p with
+               Exp_maintenance.join_samples = s_int ~min_value:5 p.Exp_maintenance.join_samples;
+               fail_samples = s_int ~min_value:2 p.Exp_maintenance.fail_samples;
+             }) );
+    ]
 
-let print_malicious () =
+let run_malicious () =
   let p = Exp_malicious.default_params in
-  Past_stdext.Text_table.print
-    ~title:"EXP8: routing around malicious droppers (randomized + retries vs deterministic)"
-    (Exp_malicious.table
-       (Exp_malicious.run { p with Exp_malicious.lookups = s_int p.Exp_malicious.lookups }))
+  tables
+    [
+      ( "EXP8: routing around malicious droppers (randomized + retries vs deterministic)",
+        Exp_malicious.table
+          (Exp_malicious.run { p with Exp_malicious.lookups = s_int p.Exp_malicious.lookups })
+      );
+    ]
 
-let print_storage () = Exp_storage.print ()
+let run_storage () =
+  tables
+    [
+      ( "EXP9/EXP10: storage utilization & insert rejection (paper: >95% util, <5% rejects, \
+         large files rejected first)",
+        Exp_storage.table (Exp_storage.run Exp_storage.default_params) );
+    ]
 
-let print_caching () =
+let run_caching () =
   let p = Exp_caching.default_params in
-  Past_stdext.Text_table.print
-    ~title:"EXP11: caching popular files (paper: caching cuts fetch distance, balances query load)"
-    (Exp_caching.table
-       (Exp_caching.run { p with Exp_caching.lookups = s_int p.Exp_caching.lookups }))
+  tables
+    [
+      ( "EXP11: caching popular files (paper: caching cuts fetch distance, balances query \
+         load)",
+        Exp_caching.table
+          (Exp_caching.run { p with Exp_caching.lookups = s_int p.Exp_caching.lookups }) );
+    ]
 
-let print_balance () =
+let run_balance () =
   let p = Exp_balance.default_params in
-  Past_stdext.Text_table.print ~title:"EXP12: per-node file balance and replica diversity"
-    (Exp_balance.table
-       (Exp_balance.run
-          { p with Exp_balance.diversity_samples = s_int p.Exp_balance.diversity_samples }))
+  tables
+    [
+      ( "EXP12: per-node file balance and replica diversity",
+        Exp_balance.table
+          (Exp_balance.run
+             { p with Exp_balance.diversity_samples = s_int p.Exp_balance.diversity_samples })
+      );
+    ]
 
-let print_quota () = Exp_quota.print ()
+let run_quota () =
+  tables
+    [
+      ( "EXP13: smartcard quota economy (debit on insert, credit on reclaim)",
+        Exp_quota.table (Exp_quota.run Exp_quota.default_params) );
+    ]
 
-let all : (string * (unit -> unit)) list =
+let run_ablation () =
+  tables
+    [
+      ( "ABLATION A: digit width b (N=2000)",
+        Exp_ablation.b_table (Exp_ablation.run_b_sweep ~n:2000 ~lookups:500 ~seed:61) );
+      ( "ABLATION B: leaf-set size l vs adjacent-failure threshold (N=1500)",
+        Exp_ablation.l_table
+          (Exp_ablation.run_l_sweep ~n:1500 ~trials:6 ~lookups_per_trial:20 ~seed:62) );
+      ( "ABLATION C: admission threshold t_pri (full policy)",
+        Exp_ablation.t_table (Exp_ablation.run_t_sweep ~seed:63) );
+      ( "ABLATION D: randomized-routing bias (N=1000)",
+        Exp_ablation.bias_table
+          (Exp_ablation.run_bias_sweep ~n:1000 ~lookups:200 ~fraction:0.2 ~retries:3 ~seed:64)
+      );
+    ]
+
+let run_soak () =
+  tables
+    [
+      ( "SOAK: mixed Poisson workload under continuous churn (availability + self-healing)",
+        Exp_soak.table (Exp_soak.run Exp_soak.default_params) );
+    ]
+
+let all : (string * (unit -> output)) list =
   [
-    ("hops", print_hops);
-    ("state", print_state);
-    ("locality", print_locality);
-    ("replica", print_replica);
-    ("leaffail", print_failures);
-    ("maintenance", print_maintenance);
-    ("malicious", print_malicious);
-    ("storage", print_storage);
-    ("caching", print_caching);
-    ("balance", print_balance);
-    ("quota", print_quota);
-    ("ablation", Exp_ablation.print);
-    ("soak", Exp_soak.print);
+    ("hops", run_hops);
+    ("state", run_state);
+    ("locality", run_locality);
+    ("replica", run_replica);
+    ("leaffail", run_failures);
+    ("maintenance", run_maintenance);
+    ("malicious", run_malicious);
+    ("storage", run_storage);
+    ("caching", run_caching);
+    ("balance", run_balance);
+    ("quota", run_quota);
+    ("ablation", run_ablation);
+    ("soak", run_soak);
   ]
 
-let run_all () =
-  List.iter
-    (fun (name, print) ->
-      Printf.printf "\n[%s]\n%!" name;
-      let t0 = Sys.time () in
-      print ();
-      Printf.printf "(%s finished in %.1fs cpu)\n%!" name (Sys.time () -. t0))
-    all
+(* --- rendering --------------------------------------------------------- *)
 
-let run_named name =
+let first_routes reg count =
+  Trace.routes (Registry.tracer reg) |> List.filteri (fun i _ -> i < count)
+
+let print_traces ~count reg =
+  match first_routes reg count with
+  | [] -> print_endline "(no complete route traces retained in the trace ring)"
+  | routes ->
+    Printf.printf "\nFirst %d reconstructed route trace(s):\n" (List.length routes);
+    List.iter (fun r -> print_endline (Trace.route_to_string r)) routes
+
+let json_of_output ~trace name (out : output) =
+  let table_objs =
+    List.map
+      (fun (title, tbl) ->
+        Json.Obj [ ("title", Json.String title); ("rows", Text_table.to_json tbl) ])
+      out.tables
+  in
+  let fields =
+    [ ("experiment", Json.String name); ("tables", Json.List table_objs) ]
+  in
+  let fields =
+    match out.trace_registry with
+    | Some reg when trace > 0 ->
+      fields
+      @ [
+          ( "traces",
+            Json.List
+              (List.map (fun r -> Json.String (Trace.route_to_string r))
+                 (first_routes reg trace)) );
+        ]
+    | _ -> fields
+  in
+  Json.Obj fields
+
+let print_output ~trace (out : output) =
+  List.iter (fun (title, tbl) -> Text_table.print ~title tbl) out.tables;
+  if trace > 0 then
+    match out.trace_registry with
+    | Some reg -> print_traces ~count:trace reg
+    | None -> print_endline "(this experiment does not retain route traces)"
+
+let run_all ?(json = false) ?(trace = 0) () =
+  if json then begin
+    let objs = List.map (fun (name, run) -> json_of_output ~trace name (run ())) all in
+    print_endline (Json.to_string ~indent:true (Json.List objs))
+  end
+  else
+    List.iter
+      (fun (name, run) ->
+        Printf.printf "\n[%s]\n%!" name;
+        let t0 = Sys.time () in
+        print_output ~trace (run ());
+        Printf.printf "(%s finished in %.1fs cpu)\n%!" name (Sys.time () -. t0))
+      all
+
+let run_named ?(json = false) ?(trace = 0) name =
   match List.assoc_opt name all with
-  | Some print -> print ()
+  | Some run ->
+    let out = run () in
+    if json then print_endline (Json.to_string ~indent:true (json_of_output ~trace name out))
+    else print_output ~trace out
   | None ->
     Printf.eprintf "unknown experiment %S; available: %s\n" name
       (String.concat ", " (List.map fst all));
     exit 2
+
+(* --- metrics snapshot -------------------------------------------------- *)
+
+(* A small end-to-end PAST workload whose registry snapshot exercises
+   every layer: network counters and latency histogram, routing-stage
+   counters, and the storage layer's accept/reject/cache metrics. *)
+let metrics ?(json = false) ?(trace = 0) () =
+  let module System = Past_core.System in
+  let module Client = Past_core.Client in
+  let n = 40 in
+  let sys =
+    System.create ~seed:11 ~n ~node_capacity:(fun _ _ -> 120_000) ()
+  in
+  let client = System.new_client sys ~quota:2_000_000 () in
+  let stored = ref [] in
+  for i = 1 to 30 do
+    let data = String.make (500 + (137 * i mod 3_000)) 'x' in
+    match Client.insert_sync client ~name:(Printf.sprintf "file-%d" i) ~data ~k:3 () with
+    | Client.Inserted { file_id; _ } -> stored := file_id :: !stored
+    | Client.Insert_failed _ -> ()
+  done;
+  List.iter
+    (fun file_id -> ignore (Client.lookup_sync client ~file_id ()))
+    (!stored @ !stored);
+  let reg = System.registry sys in
+  if json then print_endline (Json.to_string ~indent:true (Registry.to_json reg))
+  else begin
+    Registry.print
+      ~title:
+        (Printf.sprintf "telemetry snapshot (demo workload: %d nodes, 30 inserts, %d lookups)"
+           n
+           (2 * List.length !stored))
+      reg;
+    if trace > 0 then print_traces ~count:trace reg
+  end

@@ -1,4 +1,5 @@
 module Id = Past_id.Id
+module Counter = Past_telemetry.Counter
 
 type policy = No_cache | Lru | Gds
 
@@ -17,8 +18,10 @@ type t = {
   entries : entry Id.Table.t;
   mutable inflation : float; (* GDS L *)
   mutable tick : int; (* LRU clock *)
-  mutable hits : int;
-  mutable misses : int;
+  (* Per-cache telemetry counters (the PAST node additionally reports
+     overlay-wide aggregates into its registry). *)
+  c_hits : Counter.t;
+  c_misses : Counter.t;
 }
 
 let create policy =
@@ -29,19 +32,19 @@ let create policy =
     entries = Id.Table.create 64;
     inflation = 0.0;
     tick = 0;
-    hits = 0;
-    misses = 0;
+    c_hits = Counter.create ();
+    c_misses = Counter.create ();
   }
 
 let budget t = t.budget
 let used t = t.used
 let entry_count t = Id.Table.length t.entries
-let hits t = t.hits
-let misses t = t.misses
+let hits t = Counter.value t.c_hits
+let misses t = Counter.value t.c_misses
 
 let reset_counters t =
-  t.hits <- 0;
-  t.misses <- 0
+  Counter.reset t.c_hits;
+  Counter.reset t.c_misses
 
 let drop t file_id =
   match Id.Table.find_opt t.entries file_id with
@@ -87,10 +90,10 @@ let fresh_weight t size =
 let find t file_id =
   match Id.Table.find_opt t.entries file_id with
   | None ->
-    t.misses <- t.misses + 1;
+    Counter.incr t.c_misses;
     None
   | Some e ->
-    t.hits <- t.hits + 1;
+    Counter.incr t.c_hits;
     e.weight <- fresh_weight t e.cert.Certificate.size;
     Some (e.cert, e.data)
 

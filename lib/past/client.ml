@@ -2,6 +2,8 @@ module Id = Past_id.Id
 module Net = Past_simnet.Net
 module PNode = Past_pastry.Node
 module Rng = Past_stdext.Rng
+module Registry = Past_telemetry.Registry
+module Counter = Past_telemetry.Counter
 
 type insert_state = {
   name : string;
@@ -65,6 +67,9 @@ type t = {
   lookups : lookup_state Id.Table.t;
   reclaims : reclaim_state Id.Table.t;
   audits : (string, audit_state) Hashtbl.t; (* by nonce *)
+  (* overlay-wide retry accounting in the system's registry *)
+  c_insert_retries : Counter.t;
+  c_lookup_retries : Counter.t;
 }
 
 let card t = t.card
@@ -138,6 +143,7 @@ and finish_insert_attempt t state ~timed_out =
             ?declared_size:state.declared_size ~replication:state.k ~now:(now t) ()
         with
         | Ok cert' ->
+          Counter.incr t.c_insert_retries;
           start_insert_attempt t
             {
               state with
@@ -201,6 +207,7 @@ and lookup_failed_attempt t file_id state =
   if not state.lk_settled then begin
     if state.retries_left > 0 then begin
       state.retries_left <- state.retries_left - 1;
+      Counter.incr t.c_lookup_retries;
       send_lookup t file_id state
     end
     else begin
@@ -317,6 +324,7 @@ let dispatch t (msg : Wire.t) =
 
 let create ~card ~access ?(op_timeout = 50_000.0) ?(max_insert_attempts = 3) ?(verify = true)
     ~rng () =
+  let reg = Net.registry (PNode.net (Node.pastry access)) in
   let rec t =
     lazy
       {
@@ -331,6 +339,8 @@ let create ~card ~access ?(op_timeout = 50_000.0) ?(max_insert_attempts = 3) ?(v
         lookups = Id.Table.create 8;
         reclaims = Id.Table.create 8;
         audits = Hashtbl.create 8;
+        c_insert_retries = Registry.counter reg "past.client.insert_retries";
+        c_lookup_retries = Registry.counter reg "past.client.lookup_retries";
       }
   in
   Lazy.force t

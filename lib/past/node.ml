@@ -4,6 +4,9 @@ module Net = Past_simnet.Net
 module PNode = Past_pastry.Node
 module Peer = Past_pastry.Peer
 module Leaf_set = Past_pastry.Leaf_set
+module Registry = Past_telemetry.Registry
+module Counter = Past_telemetry.Counter
+module Histogram = Past_telemetry.Histogram
 
 let log_src = Logs.Src.create "past.core" ~doc:"PAST storage protocol events"
 
@@ -58,13 +61,21 @@ type t = {
   mutable next_tag : int;
   pending_fetches : pending_fetch Id.Table.t;
   mutable replication_scheduled : bool;
-  (* counters *)
+  (* per-node counters *)
   mutable served_store : int;
   mutable served_cache : int;
   mutable stored : int;
   mutable refused : int;
   mutable diverts_tried : int;
   mutable diverts_ok : int;
+  (* overlay-wide telemetry, shared through the overlay's registry *)
+  c_accept : Counter.t;
+  c_reject : Counter.t;
+  c_divert_try : Counter.t;
+  c_divert_ok : Counter.t;
+  c_cache_hits : Counter.t;
+  c_cache_misses : Counter.t;
+  h_size : Histogram.t;
 }
 
 let pastry t = t.pastry
@@ -149,6 +160,8 @@ let store_locally t (cert : Certificate.file) data kind =
     (* A file promoted to a replica needs no cached copy here too. *)
     Cache.remove t.cache cert.Certificate.file_id;
     t.stored <- t.stored + 1;
+    Counter.incr t.c_accept;
+    Histogram.observe_int t.h_size cert.Certificate.size;
     Ok ()
   | Error `Refused -> Error `Refused
 
@@ -163,6 +176,7 @@ let nack t (cert : Certificate.file) client =
       m "%s refuses replica of %s (%d bytes, free %d)" (Id.short (id t))
         (Id.short cert.Certificate.file_id) cert.Certificate.size (Store.free t.store));
   t.refused <- t.refused + 1;
+  Counter.incr t.c_reject;
   to_client t client (Wire.Replica_nack { file_id = cert.Certificate.file_id; node_id = id t })
 
 (* Replica diversion (§2.3 via [12]): a full replica node asks a
@@ -194,6 +208,7 @@ let try_divert t (cert : Certificate.file) data client =
         m "%s diverts replica of %s to %s" (Id.short (id t))
           (Id.short cert.Certificate.file_id) (Id.short target.Peer.id));
     t.diverts_tried <- t.diverts_tried + 1;
+    Counter.incr t.c_divert_try;
     send t target (Wire.Divert_store { cert; data; client; origin = self t })
 
 let handle_store_replica t (cert : Certificate.file) data client =
@@ -260,9 +275,12 @@ let try_serve_locally t file_id client ~hops ~dist ~path =
     match Cache.find t.cache file_id with
     | Some (cert, data) ->
       t.served_cache <- t.served_cache + 1;
+      Counter.incr t.c_cache_hits;
       serve t cert data client ~hops ~dist ~path;
       true
-    | None -> false)
+    | None ->
+      Counter.incr t.c_cache_misses;
+      false)
 
 (* Root-side fallback: pull the file from the diverted holder or from a
    fellow replica, then answer every waiting client. *)
@@ -454,10 +472,12 @@ let on_direct t ~from:_ (msg : Wire.t) =
   | Wire.Divert_store { cert; data; client; origin } -> handle_divert_store t cert data client origin
   | Wire.Divert_ack { file_id; holder } ->
     t.diverts_ok <- t.diverts_ok + 1;
+    Counter.incr t.c_divert_ok;
     Store.add_pointer t.store ~file_id ~holder
   | Wire.Divert_nack { file_id; client } ->
     if client.Wire.tag >= 0 then begin
       t.refused <- t.refused + 1;
+      Counter.incr t.c_reject;
       to_client t client (Wire.Replica_nack { file_id; node_id = id t })
     end
   | Wire.To_client { tag; inner } -> (
@@ -498,6 +518,7 @@ let on_direct t ~from:_ (msg : Wire.t) =
 
 let attach ~pastry ~card ~brokers ~capacity ?(config = default_config) ?free_oracle () =
   if brokers = [] then invalid_arg "Node.attach: need at least one trusted broker";
+  let reg = Net.registry (PNode.net pastry) in
   let t =
     {
       pastry;
@@ -517,6 +538,13 @@ let attach ~pastry ~card ~brokers ~capacity ?(config = default_config) ?free_ora
       refused = 0;
       diverts_tried = 0;
       diverts_ok = 0;
+      c_accept = Registry.counter reg "past.insert.accepted";
+      c_reject = Registry.counter reg "past.insert.rejected";
+      c_divert_try = Registry.counter reg "past.divert.attempted";
+      c_divert_ok = Registry.counter reg "past.divert.succeeded";
+      c_cache_hits = Registry.counter reg "past.cache.hits";
+      c_cache_misses = Registry.counter reg "past.cache.misses";
+      h_size = Registry.histogram reg "past.replica.size";
     }
   in
   sync_cache t;

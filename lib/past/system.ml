@@ -22,6 +22,7 @@ let nodes t = t.nodes
 let node_count t = Array.length t.nodes
 let rng t = t.rng
 let net t = Overlay.net t.overlay
+let registry t = Overlay.registry t.overlay
 let run ?until t = Overlay.run ?until t.overlay
 
 let node_of_pastry_addr t addr =

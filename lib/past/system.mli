@@ -42,6 +42,12 @@ val node_count : t -> int
 val rng : t -> Past_stdext.Rng.t
 val net : t -> Wire.t Past_pastry.Message.t Past_simnet.Net.t
 
+val registry : t -> Past_telemetry.Registry.t
+(** The system's private telemetry registry: message counters from the
+    network, routing-stage counters from Pastry, storage counters from
+    PAST, and the route tracer. Two concurrent systems never share
+    one. *)
+
 val new_client :
   t ->
   ?access:Node.t ->

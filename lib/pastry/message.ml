@@ -2,6 +2,7 @@ type 'a routed = {
   key : Past_id.Id.t;
   origin : Peer.t;
   sender : Peer.t;
+  trace : int;
   hops : int;
   dist : float;
   path : Past_simnet.Net.addr list;

@@ -1,6 +1,9 @@
 module Id = Past_id.Id
 module Net = Past_simnet.Net
 module Rng = Past_stdext.Rng
+module Registry = Past_telemetry.Registry
+module Counter = Past_telemetry.Counter
+module Trace = Past_telemetry.Trace
 
 (* Tracing: enable with Logs.Src.set_level (e.g. in an example or a
    debug session) — the hot paths only format when the level is on. *)
@@ -32,6 +35,15 @@ type 'a t = {
   pending_acks : (Net.addr, float) Hashtbl.t; (* addr -> failure deadline *)
   mutable fwd_count : int;
   mutable ctl_count : int;
+  (* Overlay-wide telemetry: all nodes of one overlay resolve the same
+     registry counters, so these aggregate across the whole system. *)
+  tracer : Trace.t;
+  c_hop_leaf : Counter.t;
+  c_hop_rt : Counter.t;
+  c_hop_rare : Counter.t;
+  c_delivered : Counter.t;
+  c_ctl : Counter.t;
+  c_repairs : Counter.t;
 }
 
 let self t = t.self
@@ -58,7 +70,9 @@ let proximity_to t peer_addr = Net.proximity t.net t.self.Peer.addr peer_addr
 let tell t dst msg =
   (match msg with
   | Message.Routed { payload = Message.App _; _ } | Message.Direct _ -> ()
-  | _ -> t.ctl_count <- t.ctl_count + 1);
+  | _ ->
+    t.ctl_count <- t.ctl_count + 1;
+    Counter.incr t.c_ctl);
   Net.send t.net ~src:t.self.Peer.addr ~dst msg
 
 let fire_leaf_change t = match t.app with Some a -> a.on_leaf_change () | None -> ()
@@ -94,6 +108,7 @@ let declare_failed t failed_addr =
     (* Repair: ask the live extreme node on the failed side for its
        leaf set; the overlap of adjacent leaf sets restores the
        invariant (§2.2 "Node addition and failure"). *)
+    Counter.incr t.c_repairs;
     let ask peer = tell t peer.Peer.addr (Message.Leaf_request { from = t.self }) in
     if was_smaller then Option.iter ask (Leaf_set.extreme_smaller t.leaf);
     if was_larger then Option.iter ask (Leaf_set.extreme_larger t.leaf);
@@ -141,19 +156,23 @@ let best_candidate t key candidates =
   | [] -> None
   | first :: rest -> Some (List.fold_left (fun acc c -> if better c acc then c else acc) first rest)
 
-let next_hop t key : 'a hop =
+(* The stage labels which routing structure chose the hop: the leaf
+   set, the routing table, or the rare-case fallback scan (randomized
+   routing always scans candidates, so it counts as rare-case). A
+   delivery at the local node with no leaf-set coverage is [Local]. *)
+let next_hop t key : 'a hop * Trace.stage =
   (* Use-time filtering of dead members keeps decisions sound between a
      failure and its detection by keep-alives: pruning a dead member and
      retrying folds the real per-hop timeout loop into one step. *)
   let rec leaf_step () =
     if Leaf_set.covers t.leaf key then begin
       match Leaf_set.closest_including_self t.leaf key with
-      | `Self -> Some Deliver
-      | `Peer p -> if usable t p then Some (Forward p) else leaf_step ()
+      | `Self -> Some (Deliver, Trace.Leaf_set)
+      | `Peer p -> if usable t p then Some (Forward p, Trace.Leaf_set) else leaf_step ()
     end
     else None
   in
-  if Id.equal key t.self.Peer.id then Deliver
+  if Id.equal key t.self.Peer.id then (Deliver, Trace.Local)
   else begin
     match leaf_step () with
     | Some hop -> hop
@@ -162,28 +181,30 @@ let next_hop t key : 'a hop =
     if t.config.Config.randomized_routing then begin
       let candidates = rare_case_candidates t key p0 in
       match candidates with
-      | [] -> Deliver
+      | [] -> (Deliver, Trace.Local)
       | _ -> (
         match best_candidate t key candidates with
         | Some best
           when Rng.chance t.rng t.config.Config.randomize_bias || List.length candidates = 1 ->
-          Forward best
+          (Forward best, Trace.Rare_case)
         | Some best -> (
           let others = List.filter (fun c -> not (Peer.equal c best)) candidates in
-          match others with [] -> Forward best | _ -> Forward (Rng.pick_list t.rng others))
-        | None -> Deliver)
+          match others with
+          | [] -> (Forward best, Trace.Rare_case)
+          | _ -> (Forward (Rng.pick_list t.rng others), Trace.Rare_case))
+        | None -> (Deliver, Trace.Local))
     end
     else begin
       match Routing_table.next_hop t.rt ~key with
-      | Some p when usable t p -> Forward p
+      | Some p when usable t p -> (Forward p, Trace.Routing_table)
       | Some _ | None -> (
         (* Rare case: no routing-table entry; fall back to any known
            node with an equal-or-longer prefix that is numerically
            closer (guaranteed to exist unless ⌊l/2⌋ adjacent leaf-set
            nodes failed simultaneously). *)
         match best_candidate t key (rare_case_candidates t key p0) with
-        | Some p -> Forward p
-        | None -> Deliver)
+        | Some p -> (Forward p, Trace.Rare_case)
+        | None -> (Deliver, Trace.Local))
     end
   end
 
@@ -225,11 +246,23 @@ let contribute_join_rows t (r : 'a Message.routed) =
         (Message.Nbhd_reply { from = t.self; peers = Neighborhood.members t.nbhd })
   end
 
+let stage_counter t = function
+  | Trace.Leaf_set -> t.c_hop_leaf
+  | Trace.Routing_table -> t.c_hop_rt
+  | Trace.Rare_case | Trace.Local -> t.c_hop_rare
+
+let trace_event t kind = Trace.record t.tracer ~time:(Net.now t.net) ~node:t.self.Peer.addr kind
+
 let handle_routed t (r : 'a Message.routed) =
   if not t.malicious then begin
     t.fwd_count <- t.fwd_count + 1;
-    match next_hop t r.Message.key with
-    | Deliver -> do_deliver t r
+    let hop, stage = next_hop t r.Message.key in
+    match hop with
+    | Deliver ->
+      Counter.incr t.c_delivered;
+      trace_event t
+        (Trace.Route_deliver { route = r.Message.trace; hops = r.Message.hops; stage });
+      do_deliver t r
     | Forward next ->
       let decision =
         match r.Message.payload with
@@ -242,6 +275,16 @@ let handle_routed t (r : 'a Message.routed) =
           | None -> `Continue)
       in
       if decision = `Continue then begin
+        Counter.incr (stage_counter t stage);
+        trace_event t
+          (Trace.Route_hop
+             {
+               route = r.Message.trace;
+               seq = r.Message.hops;
+               from_ = t.self.Peer.addr;
+               to_ = next.Peer.addr;
+               stage;
+             });
         let hop_dist = proximity_to t next.Peer.addr in
         tell t next.Peer.addr
           (Message.Routed
@@ -253,6 +296,12 @@ let handle_routed t (r : 'a Message.routed) =
                path = next.Peer.addr :: r.Message.path;
              })
       end
+      else
+        (* The application intercepted the lookup (e.g. a PAST cache hit
+           en route): the route effectively delivered here. *)
+        trace_event t
+          (Trace.Route_deliver
+             { route = r.Message.trace; hops = r.Message.hops; stage = Trace.Local })
   end
 
 let announce t =
@@ -317,6 +366,10 @@ let create ~net ~config ~rng ~id () =
   let handler src msg = match !node_ref with Some n -> handle n src msg | None -> () in
   let addr = Net.register net ~handler in
   let self = Peer.make ~id ~addr in
+  let reg = Net.registry net in
+  (* Eagerly created so a metrics snapshot shows every stage, zero or
+     not. *)
+  let stage_hop s = Registry.counter reg ~labels:[ ("stage", Trace.stage_name s) ] "pastry.route.hops" in
   let t =
     {
       net;
@@ -333,6 +386,13 @@ let create ~net ~config ~rng ~id () =
       pending_acks = Hashtbl.create 16;
       fwd_count = 0;
       ctl_count = 0;
+      tracer = Registry.tracer reg;
+      c_hop_leaf = stage_hop Trace.Leaf_set;
+      c_hop_rt = stage_hop Trace.Routing_table;
+      c_hop_rare = stage_hop Trace.Rare_case;
+      c_delivered = Registry.counter reg "pastry.route.delivered";
+      c_ctl = Registry.counter reg "pastry.control_sent";
+      c_repairs = Registry.counter reg "pastry.leaf_repairs";
     }
   in
   node_ref := Some t;
@@ -348,12 +408,15 @@ let join t ~bootstrap =
   if bootstrap = t.self.Peer.addr then invalid_arg "Node.join: cannot bootstrap from self";
   Log.info (fun m -> m "%s joining via node@%d" (Id.short t.self.Peer.id) bootstrap);
   t.joined <- false;
+  let trace = Trace.new_route_id t.tracer in
+  trace_event t (Trace.Route_start { route = trace; key = Id.short t.self.Peer.id });
   tell t bootstrap
     (Message.Routed
        {
          key = t.self.Peer.id;
          origin = t.self;
          sender = t.self;
+         trace;
          hops = 0;
          dist = 0.0;
          path = [ t.self.Peer.addr ];
@@ -361,11 +424,14 @@ let join t ~bootstrap =
        })
 
 let route t ~key payload =
+  let trace = Trace.new_route_id t.tracer in
+  trace_event t (Trace.Route_start { route = trace; key = Id.short key });
   let r =
     {
       Message.key;
       origin = t.self;
       sender = t.self;
+      trace;
       hops = 0;
       dist = 0.0;
       path = [ t.self.Peer.addr ];

@@ -19,7 +19,10 @@ let create ?(config = Config.default) ?topology ?(loss_rate = 0.0) ~seed () =
   Config.validate config;
   let rng = Rng.create seed in
   let topology = match topology with Some t -> t | None -> Topology.plane () in
-  let net = Net.create ~loss_rate ~rng:(Rng.split rng) ~topology () in
+  let registry = Past_telemetry.Registry.create ~name:"overlay" () in
+  let net =
+    Net.create ~loss_rate ~registry ~describe:Message.describe ~rng:(Rng.split rng) ~topology ()
+  in
   {
     net;
     config;
@@ -35,6 +38,7 @@ let create ?(config = Config.default) ?topology ?(loss_rate = 0.0) ~seed () =
 let net t = t.net
 let config t = t.config
 let rng t = t.rng
+let registry t = Net.registry t.net
 
 let nodes t =
   match t.nodes_cache with

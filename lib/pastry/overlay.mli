@@ -23,6 +23,11 @@ val net : 'a t -> 'a Message.t Past_simnet.Net.t
 val config : 'a t -> Config.t
 val rng : 'a t -> Past_stdext.Rng.t
 
+val registry : 'a t -> Past_telemetry.Registry.t
+(** This overlay's private telemetry registry (created by {!create} and
+    shared by the network and every node): counters, histograms, and
+    the route tracer. *)
+
 val add_node : 'a t -> 'a Node.t
 (** Create a node with a random nodeId, registered on the network but
     with empty tables and not joined to anything. *)

@@ -1,5 +1,8 @@
 module Rng = Past_stdext.Rng
 module Heap = Past_stdext.Heap
+module Registry = Past_telemetry.Registry
+module Counter = Past_telemetry.Counter
+module Histogram = Past_telemetry.Histogram
 
 type addr = int
 
@@ -17,6 +20,10 @@ type 'msg node = {
   mutable up : bool;
 }
 
+(* Per-kind accounting: one counter triple per message kind, resolved
+   through the registry once and cached here for the hot path. *)
+type kind_counters = { k_sent : Counter.t; k_delivered : Counter.t; k_dropped : Counter.t }
+
 type 'msg t = {
   rng : Rng.t;
   topology : Topology.t;
@@ -27,14 +34,19 @@ type 'msg t = {
   events : 'msg event Heap.t;
   nodes : (addr, 'msg node) Hashtbl.t;
   mutable next_addr : addr;
-  mutable sent : int;
-  mutable delivered : int;
-  mutable dropped : int;
-  mutable send_tap : (src:addr -> dst:addr -> 'msg -> unit) option;
+  registry : Registry.t;
+  describe : 'msg -> string;
+  c_sent : Counter.t;
+  c_delivered : Counter.t;
+  c_dropped : Counter.t;
+  latency : Histogram.t;
+  by_kind : (string, kind_counters) Hashtbl.t;
 }
 
-let create ?(loss_rate = 0.0) ?(latency_factor = 1.0) ~rng ~topology () =
+let create ?(loss_rate = 0.0) ?(latency_factor = 1.0) ?registry ?(describe = fun _ -> "msg")
+    ~rng ~topology () =
   if loss_rate < 0.0 || loss_rate >= 1.0 then invalid_arg "Net.create: loss_rate must be in [0,1)";
+  let registry = match registry with Some r -> r | None -> Registry.create ~name:"net" () in
   {
     rng;
     topology;
@@ -45,11 +57,35 @@ let create ?(loss_rate = 0.0) ?(latency_factor = 1.0) ~rng ~topology () =
     events = Heap.create ~leq:(fun a b -> a.time < b.time || (a.time = b.time && a.seq <= b.seq));
     nodes = Hashtbl.create 1024;
     next_addr = 0;
-    sent = 0;
-    delivered = 0;
-    dropped = 0;
-    send_tap = None;
+    registry;
+    describe;
+    c_sent = Registry.counter registry "net.sent";
+    c_delivered = Registry.counter registry "net.delivered";
+    c_dropped = Registry.counter registry "net.dropped";
+    latency = Registry.histogram registry "net.link_latency";
+    by_kind = Hashtbl.create 16;
   }
+
+let registry t = t.registry
+
+let kind_counters t kind =
+  match Hashtbl.find_opt t.by_kind kind with
+  | Some k -> k
+  | None ->
+    let labels = [ ("kind", kind) ] in
+    let k =
+      {
+        k_sent = Registry.counter t.registry ~labels "net.sent";
+        k_delivered = Registry.counter t.registry ~labels "net.delivered";
+        k_dropped = Registry.counter t.registry ~labels "net.dropped";
+      }
+    in
+    Hashtbl.replace t.by_kind kind k;
+    k
+
+let counters_for_kind t kind =
+  let k = kind_counters t kind in
+  (Counter.value k.k_sent, Counter.value k.k_delivered, Counter.value k.k_dropped)
 
 let register t ~handler =
   let addr = t.next_addr in
@@ -71,18 +107,21 @@ let push t time action =
 let proximity t a b = Topology.proximity t.topology (node t a).location (node t b).location
 let max_proximity t = Topology.max_proximity t.topology
 
-let set_send_tap t tap = t.send_tap <- Some tap
-let clear_send_tap t = t.send_tap <- None
+let drop t kind =
+  Counter.incr t.c_dropped;
+  Counter.incr (kind_counters t kind).k_dropped
 
 let send t ~src ~dst msg =
-  t.sent <- t.sent + 1;
-  (match t.send_tap with Some tap -> tap ~src ~dst msg | None -> ());
-  if t.loss_rate > 0.0 && Rng.chance t.rng t.loss_rate then t.dropped <- t.dropped + 1
+  let kind = t.describe msg in
+  Counter.incr t.c_sent;
+  Counter.incr (kind_counters t kind).k_sent;
+  if t.loss_rate > 0.0 && Rng.chance t.rng t.loss_rate then drop t kind
   else begin
     let latency = t.latency_factor *. proximity t src dst in
     (* A small jitter keeps event ordering from being an artifact of
        identical distances. *)
     let jitter = Rng.float t.rng 0.01 in
+    Histogram.observe t.latency (latency +. jitter);
     push t (t.clock +. latency +. jitter) (Deliver { src; dst; msg })
   end
 
@@ -98,9 +137,10 @@ let dispatch t = function
   | Deliver { src; dst; msg } -> (
     match Hashtbl.find_opt t.nodes dst with
     | Some n when n.up ->
-      t.delivered <- t.delivered + 1;
+      Counter.incr t.c_delivered;
+      Counter.incr (kind_counters t (t.describe msg)).k_delivered;
       n.handler src msg
-    | Some _ | None -> t.dropped <- t.dropped + 1)
+    | Some _ | None -> drop t (t.describe msg))
   | Thunk { owner; run } -> (
     match owner with
     | Some a when not (alive t a) -> ()
@@ -131,11 +171,18 @@ let run ?until ?(max_events = max_int) t =
   done
 
 let rng t = t.rng
-let messages_sent t = t.sent
-let messages_delivered t = t.delivered
-let messages_dropped t = t.dropped
+let messages_sent t = Counter.value t.c_sent
+let messages_delivered t = Counter.value t.c_delivered
+let messages_dropped t = Counter.value t.c_dropped
 
 let reset_counters t =
-  t.sent <- 0;
-  t.delivered <- 0;
-  t.dropped <- 0
+  Counter.reset t.c_sent;
+  Counter.reset t.c_delivered;
+  Counter.reset t.c_dropped;
+  Histogram.reset t.latency;
+  Hashtbl.iter
+    (fun _ k ->
+      Counter.reset k.k_sent;
+      Counter.reset k.k_delivered;
+      Counter.reset k.k_dropped)
+    t.by_kind

@@ -15,13 +15,21 @@ type 'msg t
 val create :
   ?loss_rate:float ->
   ?latency_factor:float ->
+  ?registry:Past_telemetry.Registry.t ->
+  ?describe:('msg -> string) ->
   rng:Past_stdext.Rng.t ->
   topology:Topology.t ->
   unit ->
   'msg t
 (** [loss_rate] (default 0) drops each message independently;
     [latency_factor] (default 1.0) converts proximity to delivery
-    delay. *)
+    delay. [registry] (default: a fresh one) receives the network's
+    telemetry; [describe] names a message's kind for the per-kind
+    send/deliver/drop counters (default: every message is ["msg"]). *)
+
+val registry : _ t -> Past_telemetry.Registry.t
+(** The telemetry registry this network reports into. One registry per
+    simulated system: parallel simulations never share counters. *)
 
 val register : 'msg t -> handler:(addr -> 'msg -> unit) -> addr
 (** Add a node: samples a location, returns its address. The handler
@@ -54,15 +62,15 @@ val proximity : _ t -> addr -> addr -> float
 val max_proximity : _ t -> float
 val rng : _ t -> Past_stdext.Rng.t
 
-val set_send_tap : 'msg t -> (src:addr -> dst:addr -> 'msg -> unit) -> unit
-(** Install an observer invoked on every [send] (before loss/liveness
-    filtering) — used by experiments to account traffic by type. *)
-
-val clear_send_tap : _ t -> unit
-
-(** Counters, cumulative since creation. *)
+(** Counters, cumulative since creation. These are thin reads of the
+    registry's [net.sent] / [net.delivered] / [net.dropped] counters. *)
 
 val messages_sent : _ t -> int
 val messages_delivered : _ t -> int
 val messages_dropped : _ t -> int
+
+val counters_for_kind : _ t -> string -> int * int * int
+(** [(sent, delivered, dropped)] for one [describe] kind — how the
+    experiments account traffic by message type. *)
+
 val reset_counters : _ t -> unit

@@ -40,6 +40,17 @@ let render t =
   List.iter emit_row rows;
   Buffer.contents buf
 
+(* Cells are already formatted strings; a JSON row maps each header to
+   its cell so tables stay self-describing when exported. *)
+let to_json t =
+  let ncols = List.length t.headers in
+  let row_obj row =
+    let cells = Array.make ncols "" in
+    List.iteri (fun i cell -> if i < ncols then cells.(i) <- cell) row;
+    Json.Obj (List.mapi (fun i h -> (h, Json.String cells.(i))) t.headers)
+  in
+  Json.List (List.rev_map row_obj t.rows)
+
 let print ?title t =
   (match title with
   | Some s ->

@@ -16,5 +16,9 @@ val add_rowf : t -> ('a, Format.formatter, unit, unit) format4 -> 'a
 val render : t -> string
 (** Render with a separator line under the header. *)
 
+val to_json : t -> Json.t
+(** The table as a JSON array of objects, one per row, keyed by the
+    column headers; cells keep their rendered string form. *)
+
 val print : ?title:string -> t -> unit
 (** Print to stdout, optionally preceded by an underlined title. *)

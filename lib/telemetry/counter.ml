@@ -1,0 +1,11 @@
+type t = { mutable value : int }
+
+let create () = { value = 0 }
+let incr t = t.value <- t.value + 1
+
+let add t n =
+  if n < 0 then invalid_arg "Counter.add: counters are monotonic";
+  t.value <- t.value + n
+
+let value t = t.value
+let reset t = t.value <- 0

@@ -1,0 +1,9 @@
+(** A value that can move both ways (queue depths, utilization). *)
+
+type t
+
+val create : unit -> t
+val set : t -> float -> unit
+val add : t -> float -> unit
+val value : t -> float
+val reset : t -> unit

@@ -1,0 +1,110 @@
+(* Fixed-cost distribution summary: exact count/sum/min/max plus a
+   bounded reservoir (Vitter's algorithm R) for percentile export. The
+   reservoir's replacement choices use a private LCG so histograms stay
+   deterministic and independent of the simulation's RNG streams. *)
+
+type t = {
+  capacity : int;
+  reservoir : float array;
+  mutable kept : int;
+  mutable count : int;
+  mutable sum : float;
+  mutable min : float;
+  mutable max : float;
+  mutable state : int64;
+  mutable sorted : float array option; (* cache over reservoir, invalidated on observe *)
+}
+
+let default_capacity = 1024
+
+let create ?(capacity = default_capacity) () =
+  if capacity < 1 then invalid_arg "Histogram.create: capacity must be positive";
+  {
+    capacity;
+    reservoir = Array.make capacity 0.0;
+    kept = 0;
+    count = 0;
+    sum = 0.0;
+    min = Float.infinity;
+    max = Float.neg_infinity;
+    state = 0x9E3779B97F4A7C15L;
+    sorted = None;
+  }
+
+(* SplitMix-style step; only used to pick reservoir slots. *)
+let next_int t bound =
+  t.state <- Int64.add (Int64.mul t.state 6364136223846793005L) 1442695040888963407L;
+  let bits = Int64.to_int (Int64.shift_right_logical t.state 17) in
+  bits mod bound
+
+let observe t x =
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. x;
+  if x < t.min then t.min <- x;
+  if x > t.max then t.max <- x;
+  t.sorted <- None;
+  if t.kept < t.capacity then begin
+    t.reservoir.(t.kept) <- x;
+    t.kept <- t.kept + 1
+  end
+  else begin
+    let j = next_int t t.count in
+    if j < t.capacity then t.reservoir.(j) <- x
+  end
+
+let observe_int t x = observe t (float_of_int x)
+let count t = t.count
+let sum t = t.sum
+let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+let min t = if t.count = 0 then 0.0 else t.min
+let max t = if t.count = 0 then 0.0 else t.max
+
+let sorted_reservoir t =
+  match t.sorted with
+  | Some a -> a
+  | None ->
+    let a = Array.sub t.reservoir 0 t.kept in
+    Array.sort Float.compare a;
+    t.sorted <- Some a;
+    a
+
+let percentile t p =
+  if p < 0.0 || p > 100.0 then invalid_arg "Histogram.percentile: p out of range";
+  if t.kept = 0 then 0.0
+  else begin
+    let a = sorted_reservoir t in
+    let n = Array.length a in
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    a.(Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)))
+  end
+
+type summary = {
+  s_count : int;
+  s_sum : float;
+  s_mean : float;
+  s_min : float;
+  s_max : float;
+  s_p50 : float;
+  s_p90 : float;
+  s_p99 : float;
+}
+
+let summary t =
+  {
+    s_count = t.count;
+    s_sum = t.sum;
+    s_mean = mean t;
+    s_min = min t;
+    s_max = max t;
+    s_p50 = percentile t 50.0;
+    s_p90 = percentile t 90.0;
+    s_p99 = percentile t 99.0;
+  }
+
+let reset t =
+  t.kept <- 0;
+  t.count <- 0;
+  t.sum <- 0.0;
+  t.min <- Float.infinity;
+  t.max <- Float.neg_infinity;
+  t.sorted <- None

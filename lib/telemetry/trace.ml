@@ -1,0 +1,153 @@
+(* Structured trace events in a bounded ring: recording is O(1) and the
+   memory cost is fixed, so tracing can stay on during large runs. The
+   route-trace helper reconstructs complete lookup paths from the
+   retained events. *)
+
+type stage = Leaf_set | Routing_table | Rare_case | Local
+
+let stage_name = function
+  | Leaf_set -> "leaf-set"
+  | Routing_table -> "routing-table"
+  | Rare_case -> "rare-case"
+  | Local -> "local"
+
+type event_kind =
+  | Route_start of { route : int; key : string }
+  | Route_hop of { route : int; seq : int; from_ : int; to_ : int; stage : stage }
+  | Route_deliver of { route : int; hops : int; stage : stage }
+  | Note of string
+
+type event = { time : float; node : int; kind : event_kind }
+
+type t = {
+  capacity : int;
+  ring : event array;
+  mutable next : int; (* slot for the next write *)
+  mutable total : int; (* events ever recorded *)
+  mutable next_route : int;
+}
+
+let dummy = { time = 0.0; node = -1; kind = Note "" }
+
+let create ?(capacity = 4096) () =
+  if capacity < 0 then invalid_arg "Trace.create: negative capacity";
+  { capacity; ring = Array.make (Stdlib.max 1 capacity) dummy; next = 0; total = 0; next_route = 0 }
+
+let enabled t = t.capacity > 0
+
+let record t ~time ~node kind =
+  if t.capacity > 0 then begin
+    t.ring.(t.next) <- { time; node; kind };
+    t.next <- (t.next + 1) mod t.capacity;
+    t.total <- t.total + 1
+  end
+
+let new_route_id t =
+  let id = t.next_route in
+  t.next_route <- id + 1;
+  id
+
+let total_recorded t = t.total
+
+(* Retained events, oldest first. *)
+let events t =
+  if t.capacity = 0 || t.total = 0 then []
+  else begin
+    let kept = Stdlib.min t.total t.capacity in
+    let start = (t.next - kept + t.capacity) mod t.capacity in
+    List.init kept (fun i -> t.ring.((start + i) mod t.capacity))
+  end
+
+let clear t =
+  t.next <- 0;
+  t.total <- 0
+
+(* --- route reconstruction --------------------------------------------- *)
+
+type hop = { h_time : float; h_from : int; h_to : int; h_stage : stage }
+
+type route = {
+  route_id : int;
+  key : string;
+  origin : int;
+  started : float;
+  hops : hop list; (* in forwarding order *)
+  delivered_at : int; (* node that accepted the message *)
+  delivered_time : float;
+  delivered_stage : stage;
+}
+
+type partial = {
+  mutable p_key : string option;
+  mutable p_origin : int;
+  mutable p_started : float;
+  mutable p_hops : (int * hop) list; (* seq-tagged, unordered *)
+  mutable p_deliver : (int * float * stage) option;
+}
+
+let routes t =
+  let by_route : (int, partial) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  let partial route =
+    match Hashtbl.find_opt by_route route with
+    | Some p -> p
+    | None ->
+      let p =
+        { p_key = None; p_origin = -1; p_started = 0.0; p_hops = []; p_deliver = None }
+      in
+      Hashtbl.replace by_route route p;
+      order := route :: !order;
+      p
+  in
+  List.iter
+    (fun e ->
+      match e.kind with
+      | Route_start { route; key } ->
+        let p = partial route in
+        p.p_key <- Some key;
+        p.p_origin <- e.node;
+        p.p_started <- e.time
+      | Route_hop { route; seq; from_; to_; stage } ->
+        let p = partial route in
+        p.p_hops <-
+          (seq, { h_time = e.time; h_from = from_; h_to = to_; h_stage = stage }) :: p.p_hops
+      | Route_deliver { route; hops = _; stage } ->
+        let p = partial route in
+        p.p_deliver <- Some (e.node, e.time, stage)
+      | Note _ -> ())
+    (events t);
+  (* Only routes whose start and delivery both survived in the ring are
+     complete enough to reconstruct. *)
+  List.rev !order
+  |> List.filter_map (fun route_id ->
+         let p = Hashtbl.find by_route route_id in
+         match (p.p_key, p.p_deliver) with
+         | Some key, Some (delivered_at, delivered_time, delivered_stage) ->
+           let hops =
+             List.sort (fun (a, _) (b, _) -> compare a b) p.p_hops |> List.map snd
+           in
+           Some
+             {
+               route_id;
+               key;
+               origin = p.p_origin;
+               started = p.p_started;
+               hops;
+               delivered_at;
+               delivered_time;
+               delivered_stage;
+             }
+         | _ -> None)
+
+let pp_route ppf r =
+  Format.fprintf ppf "route %d: key %s from node@%d (t=%.1f)@," r.route_id r.key r.origin
+    r.started;
+  List.iteri
+    (fun i h ->
+      Format.fprintf ppf "  hop %d: node@%d -> node@%d via %s (t=%.1f)@," (i + 1) h.h_from h.h_to
+        (stage_name h.h_stage) h.h_time)
+    r.hops;
+  Format.fprintf ppf "  delivered at node@%d via %s after %d hop(s) (t=%.1f)" r.delivered_at
+    (stage_name r.delivered_stage) (List.length r.hops) r.delivered_time
+
+let route_to_string r = Format.asprintf "@[<v>%a@]" pp_route r

@@ -1,0 +1,58 @@
+(** Bounded ring of typed trace events with sim-time timestamps.
+
+    Recording is O(1) and memory is fixed, so tracing stays on during
+    large simulations; old events are overwritten once the ring wraps.
+    The route helpers reconstruct complete lookup paths hop by hop,
+    including which routing stage (leaf set, routing table, or the
+    rare-case fallback) chose each next hop. *)
+
+type stage = Leaf_set | Routing_table | Rare_case | Local
+
+val stage_name : stage -> string
+
+type event_kind =
+  | Route_start of { route : int; key : string }
+  | Route_hop of { route : int; seq : int; from_ : int; to_ : int; stage : stage }
+  | Route_deliver of { route : int; hops : int; stage : stage }
+  | Note of string
+
+type event = { time : float; node : int; kind : event_kind }
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 4096 events; 0 disables recording entirely. *)
+
+val enabled : t -> bool
+val record : t -> time:float -> node:int -> event_kind -> unit
+
+val new_route_id : t -> int
+(** Fresh id tying one routed message's events together. *)
+
+val events : t -> event list
+(** Retained events, oldest first. *)
+
+val total_recorded : t -> int
+(** Events ever recorded, including overwritten ones. *)
+
+val clear : t -> unit
+
+type hop = { h_time : float; h_from : int; h_to : int; h_stage : stage }
+
+type route = {
+  route_id : int;
+  key : string;
+  origin : int;
+  started : float;
+  hops : hop list;
+  delivered_at : int;
+  delivered_time : float;
+  delivered_stage : stage;
+}
+
+val routes : t -> route list
+(** Reconstructed routes, oldest first. Only routes whose start and
+    delivery events both survive in the ring are returned. *)
+
+val pp_route : Format.formatter -> route -> unit
+val route_to_string : route -> string

@@ -157,17 +157,24 @@ let counters () =
   Net.reset_counters net;
   check Alcotest.int "reset" 0 (Net.messages_sent net)
 
-let send_tap_observes () =
-  let net = make_net () in
+let per_kind_counters () =
+  let rng = Rng.create 77 in
+  let net =
+    Net.create ~describe:(fun msg -> msg) ~rng ~topology:(Topology.plane ()) ()
+  in
   let a = Net.register net ~handler:(fun _ _ -> ()) in
   let b = Net.register net ~handler:(fun _ _ -> ()) in
-  let tapped = ref [] in
-  Net.set_send_tap net (fun ~src ~dst msg -> tapped := (src, dst, msg) :: !tapped);
   Net.send net ~src:a ~dst:b "x";
-  Net.clear_send_tap net;
+  Net.send net ~src:a ~dst:b "x";
   Net.send net ~src:a ~dst:b "y";
   Net.run net;
-  check Alcotest.int "one tapped" 1 (List.length !tapped)
+  Net.set_alive net b false;
+  Net.send net ~src:a ~dst:b "y";
+  Net.run net;
+  check Alcotest.(triple int int int) "kind x" (2, 2, 0) (Net.counters_for_kind net "x");
+  check Alcotest.(triple int int int) "kind y" (2, 1, 1) (Net.counters_for_kind net "y");
+  Net.reset_counters net;
+  check Alcotest.(triple int int int) "reset" (0, 0, 0) (Net.counters_for_kind net "x")
 
 let step_one_event () =
   let net = make_net () in
@@ -200,7 +207,7 @@ let suite =
       "latency proportional" => latency_proportional_to_proximity;
       "loss rate statistical" => loss_rate_statistical;
       "counters" => counters;
-      "send tap" => send_tap_observes;
+      "per-kind counters" => per_kind_counters;
       "step" => step_one_event;
       "node count" => node_count_tracks;
     ] )

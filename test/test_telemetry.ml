@@ -1,0 +1,210 @@
+module Counter = Past_telemetry.Counter
+module Gauge = Past_telemetry.Gauge
+module Histogram = Past_telemetry.Histogram
+module Registry = Past_telemetry.Registry
+module Trace = Past_telemetry.Trace
+module Stats = Past_stdext.Stats
+module Rng = Past_stdext.Rng
+
+let check = Alcotest.check
+let ( => ) name f = Alcotest.test_case name `Quick f
+
+let counter_semantics () =
+  let c = Counter.create () in
+  check Alcotest.int "starts at zero" 0 (Counter.value c);
+  Counter.incr c;
+  Counter.add c 4;
+  check Alcotest.int "incr + add" 5 (Counter.value c);
+  (match Counter.add c (-1) with
+  | () -> Alcotest.fail "negative add accepted"
+  | exception Invalid_argument _ -> ());
+  check Alcotest.int "unchanged after rejected add" 5 (Counter.value c);
+  Counter.reset c;
+  check Alcotest.int "reset" 0 (Counter.value c)
+
+let gauge_semantics () =
+  let g = Gauge.create () in
+  check (Alcotest.float 1e-9) "starts at zero" 0.0 (Gauge.value g);
+  Gauge.set g 2.5;
+  Gauge.add g 1.0;
+  check (Alcotest.float 1e-9) "set + add" 3.5 (Gauge.value g);
+  Gauge.add g (-5.0);
+  check (Alcotest.float 1e-9) "gauges may go negative" (-1.5) (Gauge.value g);
+  Gauge.reset g;
+  check (Alcotest.float 1e-9) "reset" 0.0 (Gauge.value g)
+
+(* Below reservoir capacity the histogram keeps every sample, so its
+   ceil-rank percentiles must agree exactly with Stats (which keeps the
+   full sample list). *)
+let histogram_matches_stats () =
+  let h = Histogram.create () in
+  let s = Stats.create () in
+  let rng = Rng.create 42 in
+  for _ = 1 to 500 do
+    let v = Rng.float rng 100.0 in
+    Histogram.observe h v;
+    Stats.add s v
+  done;
+  check Alcotest.int "count" 500 (Histogram.count h);
+  check (Alcotest.float 1e-9) "mean" (Stats.mean s) (Histogram.mean h);
+  check (Alcotest.float 1e-9) "min" (Stats.min s) (Histogram.min h);
+  check (Alcotest.float 1e-9) "max" (Stats.max s) (Histogram.max h);
+  List.iter
+    (fun p ->
+      check (Alcotest.float 1e-9)
+        (Printf.sprintf "p%g" p)
+        (Stats.percentile s p) (Histogram.percentile h p))
+    [ 0.0; 50.0; 90.0; 99.0; 100.0 ];
+  Histogram.reset h;
+  check Alcotest.int "reset count" 0 (Histogram.count h);
+  check (Alcotest.float 1e-9) "reset percentile" 0.0 (Histogram.percentile h 50.0)
+
+(* Past capacity: count/sum/min/max stay exact while percentiles come
+   from the bounded reservoir — they must stay within the observed
+   range and roughly in place for a uniform stream. *)
+let histogram_reservoir_bounded () =
+  let h = Histogram.create ~capacity:128 () in
+  for i = 1 to 10_000 do
+    Histogram.observe_int h i
+  done;
+  check Alcotest.int "exact count" 10_000 (Histogram.count h);
+  check (Alcotest.float 1e-9) "exact min" 1.0 (Histogram.min h);
+  check (Alcotest.float 1e-9) "exact max" 10_000.0 (Histogram.max h);
+  let p50 = Histogram.percentile h 50.0 in
+  check Alcotest.bool "p50 within range" true (p50 >= 1.0 && p50 <= 10_000.0);
+  check Alcotest.bool "p50 roughly central" true (p50 > 2_000.0 && p50 < 8_000.0)
+
+let registry_get_or_create () =
+  let reg = Registry.create ~name:"t" () in
+  let a = Registry.counter reg "x" in
+  let b = Registry.counter reg "x" in
+  Counter.incr a;
+  check Alcotest.int "same instance" 1 (Counter.value b);
+  (* Label order does not matter. *)
+  let l1 = Registry.counter reg ~labels:[ ("p", "1"); ("q", "2") ] "y" in
+  let l2 = Registry.counter reg ~labels:[ ("q", "2"); ("p", "1") ] "y" in
+  Counter.incr l1;
+  check Alcotest.int "labels sorted" 1 (Counter.value l2);
+  (* Same name as a different metric type is an error. *)
+  (match Registry.gauge reg "x" with
+  | _ -> Alcotest.fail "type mismatch accepted"
+  | exception Invalid_argument _ -> ());
+  ignore (Registry.histogram reg "h");
+  check Alcotest.int "snapshot size" 3 (List.length (Registry.snapshot reg))
+
+(* Two systems created side by side must never share a counter: all
+   metrics live in the per-system registry, not in globals. *)
+let registry_isolation_between_systems () =
+  let module System = Past_core.System in
+  let module Client = Past_core.Client in
+  let mk seed = System.create ~seed ~n:10 ~node_capacity:(fun _ _ -> 100_000) () in
+  let sys1 = mk 101 in
+  let sys2 = mk 202 in
+  let accepted sys = Counter.value (Registry.counter (System.registry sys) "past.insert.accepted") in
+  let sent sys = Past_simnet.Net.messages_sent (System.net sys) in
+  let base2_sent = sent sys2 in
+  let client = System.new_client sys1 ~quota:1_000_000 () in
+  (match Client.insert_sync client ~name:"f" ~data:(String.make 512 'a') ~k:3 () with
+  | Client.Inserted _ -> ()
+  | Client.Insert_failed { reason; _ } -> Alcotest.failf "insert failed: %s" reason);
+  check Alcotest.bool "sys1 accepted replicas" true (accepted sys1 > 0);
+  check Alcotest.int "sys2 storage counters untouched" 0 (accepted sys2);
+  check Alcotest.int "sys2 network counters untouched" base2_sent (sent sys2)
+
+(* Route every trace event through a real (small) overlay and check the
+   reconstruction invariants: every complete route starts at its origin,
+   chains hop to hop, and the delivery hop count equals the number of
+   recorded hops. *)
+let route_trace_reconstruction () =
+  let module Overlay = Past_pastry.Overlay in
+  let overlay : Past_experiments.Harness.probe Overlay.t = Overlay.create ~seed:55 () in
+  Overlay.build_static overlay ~n:60;
+  let stats = Past_experiments.Harness.random_lookups overlay ~lookups:40 in
+  check Alcotest.int "all delivered" 40 stats.Past_experiments.Harness.delivered;
+  let routes = Trace.routes (Registry.tracer (Overlay.registry overlay)) in
+  check Alcotest.bool "routes reconstructed" true (List.length routes > 0);
+  List.iter
+    (fun (r : Trace.route) ->
+      (match r.Trace.hops with
+      | [] -> ()
+      | first :: _ -> check Alcotest.int "first hop leaves origin" r.Trace.origin first.Trace.h_from);
+      ignore
+        (List.fold_left
+           (fun prev (h : Trace.hop) ->
+             (match prev with
+             | Some (p : Trace.hop) -> check Alcotest.int "hops chain" p.Trace.h_to h.Trace.h_from
+             | None -> ());
+             Some h)
+           None r.Trace.hops);
+      (match List.rev r.Trace.hops with
+      | last :: _ -> check Alcotest.int "delivery node is last hop target" last.Trace.h_to r.Trace.delivered_at
+      | [] -> check Alcotest.int "zero-hop route delivers at origin" r.Trace.origin r.Trace.delivered_at))
+    routes;
+  (* Trace ring wraps without losing count. *)
+  let tr = Trace.create ~capacity:8 () in
+  for i = 1 to 20 do
+    Trace.record tr ~time:(float_of_int i) ~node:0 (Trace.Note "n")
+  done;
+  check Alcotest.int "ring keeps capacity" 8 (List.length (Trace.events tr));
+  check Alcotest.int "total counts overwritten" 20 (Trace.total_recorded tr)
+
+(* Satellite smoke test: the full report pipeline at PAST_SCALE=0.05
+   must emit JSON that round-trips through our parser with one object
+   per experiment, each carrying its titled tables. *)
+let report_json_smoke () =
+  let module Report = Past_experiments.Report in
+  let module Json = Past_stdext.Json in
+  let saved = Sys.getenv_opt "PAST_SCALE" in
+  Unix.putenv "PAST_SCALE" "0.05";
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "PAST_SCALE" (match saved with Some s -> s | None -> "1"))
+    (fun () ->
+      let objs =
+        List.map (fun (name, run) -> Report.json_of_output ~trace:0 name (run ())) Report.all
+      in
+      let text = Json.to_string ~indent:true (Json.List objs) in
+      match Json.of_string text with
+      | Error e -> Alcotest.failf "report JSON does not parse: %s" e
+      | Ok parsed ->
+        let experiments =
+          match Json.to_list parsed with
+          | Some l -> l
+          | None -> Alcotest.fail "top level is not a list"
+        in
+        check Alcotest.int "one object per experiment" (List.length Report.all)
+          (List.length experiments);
+        List.iter2
+          (fun (name, _) obj ->
+            check (Alcotest.option Alcotest.string) "experiment name" (Some name)
+              (Json.string_member "experiment" obj);
+            let tables =
+              match Json.member "tables" obj with
+              | Some t -> ( match Json.to_list t with Some l -> l | None -> [])
+              | None -> []
+            in
+            check Alcotest.bool (name ^ " has tables") true (List.length tables > 0);
+            List.iter
+              (fun tbl ->
+                check Alcotest.bool (name ^ " table titled") true
+                  (Json.string_member "title" tbl <> None);
+                match Json.member "rows" tbl with
+                | Some rows ->
+                  check Alcotest.bool (name ^ " rows are a list") true
+                    (Json.to_list rows <> None)
+                | None -> Alcotest.failf "%s table missing rows" name)
+              tables)
+          Report.all experiments)
+
+let suite =
+  ( "telemetry",
+    [
+      "counter semantics" => counter_semantics;
+      "gauge semantics" => gauge_semantics;
+      "histogram percentiles match Stats" => histogram_matches_stats;
+      "histogram reservoir bounded" => histogram_reservoir_bounded;
+      "registry get-or-create" => registry_get_or_create;
+      "registry isolation" => registry_isolation_between_systems;
+      "route trace reconstruction" => route_trace_reconstruction;
+      "report JSON smoke (PAST_SCALE=0.05)" => report_json_smoke;
+    ] )
