@@ -7,10 +7,19 @@
    plus whole-operation benches: one routed lookup and one full PAST
    insert.
 
-   Part 2: regeneration of every table the paper's claims map to
+   Part 2: macro-benchmarks timed with the wall clock — overlay build
+   time, routed-lookup throughput at N=2000, and full-insert
+   throughput — the numbers the perf trajectory (BENCH_results.json)
+   is tracked against.
+
+   Part 3: regeneration of every table the paper's claims map to
    (EXP1–EXP13; see DESIGN.md section 5 and EXPERIMENTS.md). Scale with
    PAST_SCALE (default 1.0; the tables in EXPERIMENTS.md use 1.0).
-   Pass --micro-only or --tables-only to run one part. *)
+
+   Flags: --micro-only | --macro-only | --tables-only select one part
+   (default: all three); --json additionally writes every micro/macro
+   result that ran to BENCH_results.json (schema: bench name ->
+   {value, unit} with unit one of ns/op, ops/sec, ms). *)
 
 open Bechamel
 open Toolkit
@@ -20,6 +29,31 @@ module Sha1 = Past_crypto.Sha1
 module Sha256 = Past_crypto.Sha256
 module Rsa = Past_crypto.Rsa
 module Nat = Past_bignum.Nat
+module Json = Past_stdext.Json
+
+(* --- results accumulated for --json ------------------------------------ *)
+
+let json_results : (string * Json.t) list ref = ref []
+
+let record name ~unit value =
+  if Float.is_finite value then
+    json_results :=
+      (name, Json.Obj [ ("value", Json.Float value); ("unit", Json.String unit) ])
+      :: !json_results
+
+let write_json path =
+  let obj =
+    Json.Obj
+      [
+        ("schema", Json.String "bench name -> {value, unit}; unit is ns/op, ops/sec or ms");
+        ("benches", Json.Obj (List.rev !json_results));
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string ~indent:true obj);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s (%d benches)\n%!" path (List.length !json_results)
 
 (* --- prebuilt fixtures (outside the timed sections) ------------------- *)
 
@@ -33,10 +67,11 @@ let nat_mod = Nat.add (Nat.random_bits rng 512) Nat.one
 let id_target = Id.random rng ~width:Id.node_bits
 let id_x = Id.random rng ~width:Id.node_bits
 let id_y = Id.random rng ~width:Id.node_bits
-let overlay = Harness_fixture.overlay 2000
-let past_system = Harness_fixture.system 100
+let overlay = lazy (Harness_fixture.overlay 2000)
+let past_system = lazy (Harness_fixture.system 100)
 
-let micro_tests =
+let micro_tests () =
+  let overlay = Lazy.force overlay and past_system = Lazy.force past_system in
   Test.make_grouped ~name:"past"
     [
       Test.make ~name:"sha1 (4 KiB)" (Staged.stage (fun () -> Sha1.digest_string payload_4k));
@@ -50,6 +85,8 @@ let micro_tests =
         (Staged.stage (fun () -> Nat.mod_pow nat_base nat_exp nat_mod));
       Test.make ~name:"id closer (fast path)"
         (Staged.stage (fun () -> Id.closer ~target:id_target id_x id_y));
+      Test.make ~name:"id to_hex"
+        (Staged.stage (fun () -> Id.to_hex id_x));
       Test.make ~name:"id shared-prefix"
         (Staged.stage (fun () -> Id.shared_prefix_digits ~b:4 id_x id_y));
       Test.make ~name:"leaf-set insert x32" (Staged.stage Harness_fixture.leaf_insert_once);
@@ -67,7 +104,7 @@ let run_micro () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
-  let raw = Benchmark.all cfg instances micro_tests in
+  let raw = Benchmark.all cfg instances (micro_tests ()) in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let table = Past_stdext.Text_table.create [ "benchmark"; "time/op"; "r^2" ] in
   let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
@@ -76,6 +113,7 @@ let run_micro () =
       let ns =
         match Analyze.OLS.estimates ols with Some (t :: _) -> t | Some [] | None -> nan
       in
+      record name ~unit:"ns/op" ns;
       let pretty =
         if Float.is_nan ns then "n/a"
         else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
@@ -89,12 +127,61 @@ let run_micro () =
     (List.sort compare rows);
   Past_stdext.Text_table.print table
 
+(* --- macro-benchmarks --------------------------------------------------- *)
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let run_macro () =
+  print_endline "== macro-benchmarks (wall clock, single run) ==";
+  let table = Past_stdext.Text_table.create [ "benchmark"; "value"; "unit" ] in
+  let row name value unit =
+    record name ~unit value;
+    Past_stdext.Text_table.add_row table [ name; Printf.sprintf "%.1f" value; unit ]
+  in
+  (* Overlay construction: id sort, exact leaf sets, sampled routing
+     tables and neighborhoods for 2000 nodes. *)
+  let ov, dt = timed (fun () -> Harness_fixture.overlay 2000) in
+  row "overlay build (N=2000)" (dt *. 1e3) "ms";
+  (* Routed-lookup throughput: random key from a random origin, event
+     loop run to quiescence per lookup — the EXP1-style hot path. *)
+  let lookups = 5000 in
+  let (), dt =
+    timed (fun () ->
+        for _ = 1 to lookups do
+          Harness_fixture.route_once ov
+        done)
+  in
+  row "routed lookups (N=2000)" (float_of_int lookups /. dt) "ops/sec";
+  (* Full-insert throughput: certificate issue, route to the k replica
+     roots, store admission, acks — the EXP9 ingestion path. *)
+  let fx = Harness_fixture.system 100 in
+  let inserts = 2000 in
+  let (), dt =
+    timed (fun () ->
+        for _ = 1 to inserts do
+          Harness_fixture.insert_once fx
+        done)
+  in
+  row "full PAST insert throughput (N=100, k=3)" (float_of_int inserts /. dt) "ops/sec";
+  Past_stdext.Text_table.print table
+
 let () =
   let args = Array.to_list Sys.argv in
   let micro_only = List.mem "--micro-only" args in
+  let macro_only = List.mem "--macro-only" args in
   let tables_only = List.mem "--tables-only" args in
-  if not tables_only then run_micro ();
-  if not micro_only then begin
+  let json = List.mem "--json" args in
+  let all = not (micro_only || macro_only || tables_only) in
+  if all || micro_only then run_micro ();
+  if all || macro_only then begin
+    if all || micro_only then print_newline ();
+    run_macro ()
+  end;
+  if json then write_json "BENCH_results.json";
+  if all || tables_only then begin
     print_endline "\n== reproduced tables (one per paper claim; see EXPERIMENTS.md) ==";
     Past_experiments.Report.run_all ()
   end

@@ -263,6 +263,31 @@ let run_named ?(json = false) ?(trace = 0) name =
       (String.concat ", " (List.map fst all));
     exit 2
 
+(* --- determinism fixture ------------------------------------------------ *)
+
+(* A fixed-seed, fixed-size EXP1 run rendered together with the full
+   telemetry snapshot of its first overlay. The test suite compares
+   this string byte-for-byte against the committed golden file
+   (test/exp1_hops.golden, first generated before the PR 2 hot-path
+   optimizations): any change to RNG consumption, event ordering or
+   telemetry counter totals shows up as a diff. Regenerate with
+   `dune exec test/gen/gen_golden.exe > test/exp1_hops.golden` only
+   when intentionally changing experiment behavior. *)
+let determinism_fixture () =
+  let params =
+    { Exp_hops.ns = [ 100; 300 ]; lookups = 150; b = 4; leaf_set_size = 32; seed = 1 }
+  in
+  let r = Exp_hops.run params in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "EXP1 (golden: ns=[100;300] lookups=150 b=4 l=32 seed=1)\n";
+  Buffer.add_string buf (Text_table.render (Exp_hops.table r));
+  (match r.Exp_hops.registries with
+  | (n, reg) :: _ ->
+    Buffer.add_string buf (Printf.sprintf "\ntelemetry snapshot (N=%d overlay)\n" n);
+    Buffer.add_string buf (Text_table.render (Registry.to_table reg))
+  | [] -> ());
+  Buffer.contents buf
+
 (* --- metrics snapshot -------------------------------------------------- *)
 
 (* A small end-to-end PAST workload whose registry snapshot exercises

@@ -29,12 +29,22 @@ let of_hex ~width s =
   if Nat.num_bits n > width then invalid_arg "Id.of_hex: value exceeds width";
   Bytes.to_string (Nat.to_bytes_be ~width:(width / 8) n)
 
-let to_hex (t : t) =
-  let buf = Buffer.create (2 * String.length t) in
-  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) t;
-  Buffer.contents buf
+let hex_digits = "0123456789abcdef"
 
-let short t = String.sub (to_hex t) 0 (Stdlib.min 8 (2 * String.length t))
+(* [Id.short] runs on every route/join via Trace.Route_start, so hex
+   rendering is hot: a nibble lookup instead of Printf.sprintf per
+   byte. *)
+let hex_of_prefix (t : t) n =
+  let out = Bytes.create (2 * n) in
+  for i = 0 to n - 1 do
+    let v = Char.code (String.unsafe_get t i) in
+    Bytes.unsafe_set out (2 * i) (String.unsafe_get hex_digits (v lsr 4));
+    Bytes.unsafe_set out ((2 * i) + 1) (String.unsafe_get hex_digits (v land 0xf))
+  done;
+  Bytes.unsafe_to_string out
+
+let to_hex (t : t) = hex_of_prefix t (String.length t)
+let short (t : t) = hex_of_prefix t (Stdlib.min 4 (String.length t))
 
 let random rng ~width =
   check_width "Id.random" width;
@@ -134,6 +144,58 @@ let cw_dist_key (a : t) (b : t) =
   done;
   Bytes.unsafe_to_string out
 
+(* Top (up to) seven bytes of [cw_dist_key a b] packed big-endian into
+   a nonnegative int, without allocating the key. The borrow into the
+   packed region is 1 exactly when b's remaining suffix is
+   lexicographically (= numerically, big-endian) below a's. *)
+let cw_dist_hi7 (a : t) (b : t) =
+  same_width "Id.cw_dist_hi7" a b;
+  let n = String.length a in
+  let k = if n < 7 then n else 7 in
+  let rec suffix_lt i =
+    i < n
+    &&
+    let c = Char.code (String.unsafe_get b i) - Char.code (String.unsafe_get a i) in
+    c < 0 || (c = 0 && suffix_lt (i + 1))
+  in
+  let borrow = if suffix_lt k then 1 else 0 in
+  let hb = ref 0 and ha = ref 0 in
+  for i = 0 to k - 1 do
+    hb := (!hb lsl 8) lor Char.code (String.unsafe_get b i);
+    ha := (!ha lsl 8) lor Char.code (String.unsafe_get a i)
+  done;
+  (!hb - !ha - borrow) land ((1 lsl (8 * k)) - 1)
+
+(* Top (up to) seven bytes of [ring_dist_key a b], likewise packed and
+   allocation-free. One three-way suffix comparison yields both the
+   borrow into the packed region (suffix of b below suffix of a) and —
+   when the suffixes are equal, i.e. the low bytes of e = b - a are all
+   zero — the carry that two's-complement negation propagates into the
+   top bytes of -e. *)
+let ring_dist_hi7 (a : t) (b : t) =
+  same_width "Id.ring_dist_hi7" a b;
+  let n = String.length a in
+  let k = if n < 7 then n else 7 in
+  let rec sfx i =
+    if i = n then 0
+    else
+      let c = Char.code (String.unsafe_get b i) - Char.code (String.unsafe_get a i) in
+      if c <> 0 then c else sfx (i + 1)
+  in
+  let c = sfx k in
+  let borrow = if c < 0 then 1 else 0 in
+  let hb = ref 0 and ha = ref 0 in
+  for i = 0 to k - 1 do
+    hb := (!hb lsl 8) lor Char.code (String.unsafe_get b i);
+    ha := (!ha lsl 8) lor Char.code (String.unsafe_get a i)
+  done;
+  let mask = (1 lsl (8 * k)) - 1 in
+  let e = (!hb - !ha - borrow) land mask in
+  (* The sign bit of the full e is the top bit of its leading byte,
+     which the packed int always contains. *)
+  if e land (1 lsl ((8 * k) - 1)) = 0 then e
+  else (lnot e + (if c = 0 then 1 else 0)) land mask
+
 (* Two's-complement negation in place: -e mod 2^bits. *)
 let negate_in_place buf =
   let n = Bytes.length buf in
@@ -165,8 +227,58 @@ let dist_key_le_sum d a b =
   (* A carry out means the sum exceeds any d. *)
   !carry = 1 || String.compare d (Bytes.unsafe_to_string sum) <= 0
 
+(* Allocation-free ring-distance comparison.
+
+   [ring_dist_key target u] is min(e, -e) over e = (u - target) mod
+   2^bits; every leaf-set / replica-set sort comparison used to
+   materialize two such key strings. Instead we precompute, per
+   operand, two bit masks over byte indices — the borrow chain of the
+   subtraction and the carry chain of the two's-complement negation —
+   plus the would-negate bit, packed into one OCaml int (bits [0,n):
+   borrow into byte i; bits [n,2n): +1 carry into byte i of -e; bit
+   2n: key is -e). Key bytes are then streamed most-significant first
+   and compared without touching the heap. *)
+
+let rec closer_masks (target : t) (u : t) n i borrow all_zero bmask zmask =
+  (* [borrow] feeds byte [i]; [all_zero] = bytes (i, n-1] of e are 0. *)
+  let bmask = if borrow <> 0 then bmask lor (1 lsl i) else bmask in
+  let zmask = if all_zero then zmask lor (1 lsl i) else zmask in
+  let d = Char.code (String.unsafe_get u i) - Char.code (String.unsafe_get target i) - borrow in
+  let e = d land 0xff in
+  if i = 0 then bmask lor (zmask lsl n) lor (if e >= 0x80 then 1 lsl (2 * n) else 0)
+  else closer_masks target u n (i - 1) (if d < 0 then 1 else 0) (all_zero && e = 0) bmask zmask
+
+let[@inline] closer_key_byte (target : t) (u : t) n masks i =
+  let b = (masks lsr i) land 1 in
+  let e = (Char.code (String.unsafe_get u i) - Char.code (String.unsafe_get target i) - b) land 0xff in
+  if (masks lsr (2 * n)) land 1 = 1 then (lnot e + ((masks lsr (n + i)) land 1)) land 0xff else e
+
+let rec closer_loop target x y n mx my i =
+  if i = n then compare x y
+  else begin
+    let kx = closer_key_byte target x n mx i and ky = closer_key_byte target y n my i in
+    if kx <> ky then kx - ky else closer_loop target x y n mx my (i + 1)
+  end
+
 let closer ~target x y =
-  let c = String.compare (ring_dist_key target x) (ring_dist_key target y) in
+  same_width "Id.closer" target x;
+  same_width "Id.closer" target y;
+  let n = String.length target in
+  if n > 30 then begin
+    (* Masks no longer fit one int: fall back to materialized keys. *)
+    let c = String.compare (ring_dist_key target x) (ring_dist_key target y) in
+    if c <> 0 then c else compare x y
+  end
+  else
+    closer_loop target x y n
+      (closer_masks target x n (n - 1) 0 true 0 0)
+      (closer_masks target y n (n - 1) 0 true 0 0)
+      0
+
+(* Big-integer reference implementation, kept as the oracle the
+   property tests check [closer] against. *)
+let closer_oracle ~target x y =
+  let c = Nat.compare (distance target x) (distance target y) in
   if c <> 0 then c else compare x y
 
 let add_int (t : t) delta =

@@ -89,14 +89,30 @@ val cw_distance : t -> t -> Past_bignum.Nat.t
 val closer : target:t -> t -> t -> int
 (** [closer ~target x y < 0] iff [x] is strictly closer to [target] than
     [y] in circular distance, ties broken by numerical order.
-    Allocation-light: routing and replica selection sit on this. *)
+    Allocation-free for ids up to 240 bits: routing, leaf-set and
+    replica selection sit on this comparison. *)
+
+val closer_oracle : target:t -> t -> t -> int
+(** Same ordering computed from {!distance} over big integers — the
+    reference implementation {!closer} is property-tested against. *)
 
 val cw_dist_key : t -> t -> string
 (** [(b − a) mod 2^bits] as a big-endian byte string: clockwise
     distances compare with [String.compare]. *)
 
+val cw_dist_hi7 : t -> t -> int
+(** The first [min 7 (bytes)] bytes of {!cw_dist_key}[ a b] packed
+    big-endian into a nonnegative int, computed without allocating the
+    key. Comparing these ints agrees with [String.compare] on the full
+    keys except for ties, which callers must break on the full key. *)
+
 val ring_dist_key : t -> t -> string
 (** Circular distance as a comparable big-endian byte string. *)
+
+val ring_dist_hi7 : t -> t -> int
+(** The packed prefix of {!ring_dist_key}, under the same contract as
+    {!cw_dist_hi7}: agreement with [String.compare] on full keys up to
+    ties. *)
 
 val dist_key_le_sum : string -> string -> string -> bool
 (** [dist_key_le_sum d a b] is [d <= a + b] over equal-width distance

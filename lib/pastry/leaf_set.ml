@@ -1,112 +1,206 @@
 module Id = Past_id.Id
-module Nat = Past_bignum.Nat
 
 (* Each side is kept sorted by ring distance from the own id, closest
-   first, with the distance cached alongside each entry (leaf-set
-   insertion is on the hot path of overlay construction). In a sparse
-   ring (< l live nodes) the same peer may legally appear on both
-   sides; [members] deduplicates. *)
-type entry = { peer : Peer.t; dist : string (* Id.cw_dist_key *) }
+   first. Sides are flat parallel arrays rather than linked lists of
+   entry records: membership scans, coverage checks and inserts touch
+   contiguous memory, which matters because every routed hop probes the
+   leaf sets of nodes scattered across the heap. The first (up to)
+   seven bytes of each cached distance key are packed into an OCaml int
+   so the common case of a comparison resolves on immediate ints
+   without dereferencing the key string. In a sparse ring (< l live
+   nodes) the same peer may legally appear on both sides; [members]
+   deduplicates. *)
+type side = {
+  mutable n : int;
+  hi : int array; (* first 7 bytes of dist, big-endian packed *)
+  dist : string array; (* full Id.cw_dist_key *)
+  peers : Peer.t array;
+  ids : Id.t array; (* peers.(i).id, denormalized for scan locality *)
+  addrs : int array; (* peers.(i).addr, likewise *)
+}
 
 type t = {
   config : Config.t;
   own : Id.t;
-  mutable smaller : entry list; (* by counterclockwise distance *)
-  mutable larger : entry list; (* by clockwise distance *)
+  smaller : side; (* by counterclockwise distance *)
+  larger : side; (* by clockwise distance *)
+  (* [members] runs per maintenance tick per node and per replica
+     lookup; the deduplicated list is cached and invalidated whenever a
+     side changes. *)
+  mutable members_cache : Peer.t list option;
 }
+
+let make_side ~cap ~own =
+  let dummy = Peer.make ~id:own ~addr:(-1) in
+  {
+    n = 0;
+    hi = Array.make cap 0;
+    dist = Array.make cap "";
+    peers = Array.make cap dummy;
+    ids = Array.make cap own;
+    addrs = Array.make cap (-1);
+  }
 
 let create ~config ~own =
   Config.validate config;
-  { config; own; smaller = []; larger = [] }
+  let cap = config.Config.leaf_set_size / 2 in
+  { config; own; smaller = make_side ~cap ~own; larger = make_side ~cap ~own; members_cache = None }
 
 let half t = t.config.Config.leaf_set_size / 2
 
-(* Insert into a distance-sorted side, capped at l/2. Returns (list,
-   changed). *)
-let insert_side side entry ~cap =
-  let rec go acc n = function
-    | [] -> if n < cap then (List.rev (entry :: acc), true) else (List.rev acc, false)
-    | e :: rest ->
-      if e.peer.Peer.addr = entry.peer.Peer.addr then (List.rev_append acc (e :: rest), false)
-      else begin
-        let c = String.compare entry.dist e.dist in
-        let before = c < 0 || (c = 0 && Id.compare entry.peer.Peer.id e.peer.Peer.id < 0) in
-        if before then
-          let merged = List.rev_append acc (entry :: e :: rest) in
-          (List.filteri (fun i _ -> i < cap) merged, true)
-        else go (e :: acc) (n + 1) rest
-      end
+(* Insert into a distance-sorted side, capped at l/2. The candidate's
+   distance is [cw_dist_key from_id to_id], but the common no-change
+   scan only ever needs its packed 7-byte prefix, so the full key
+   string is materialized solely on an actual insert or a prefix tie —
+   a rejected offer allocates nothing. A duplicate address is always
+   met before the insertion point (same addr implies same id hence
+   equal distance, and the ordering breaks distance ties by id), so
+   the single forward scan decides. *)
+let side_add side ~cap ~(peer : Peer.t) ~from_id ~to_id =
+  let cand_hi = Id.cw_dist_hi7 from_id to_id in
+  let before i =
+    let c = compare cand_hi side.hi.(i) in
+    if c <> 0 then c < 0
+    else begin
+      let c = String.compare (Id.cw_dist_key from_id to_id) side.dist.(i) in
+      c < 0 || (c = 0 && Id.compare peer.Peer.id side.ids.(i) < 0)
+    end
   in
-  go [] 0 side
+  let rec find i =
+    if i = side.n then if side.n < cap then `At side.n else `No
+    else if side.addrs.(i) = peer.Peer.addr then `No
+    else if before i then `At i
+    else find (i + 1)
+  in
+  match find 0 with
+  | `No -> false
+  | `At pos ->
+    let last = Stdlib.min (side.n + 1) cap - 1 in
+    for j = last downto pos + 1 do
+      side.hi.(j) <- side.hi.(j - 1);
+      side.dist.(j) <- side.dist.(j - 1);
+      side.peers.(j) <- side.peers.(j - 1);
+      side.ids.(j) <- side.ids.(j - 1);
+      side.addrs.(j) <- side.addrs.(j - 1)
+    done;
+    side.hi.(pos) <- cand_hi;
+    side.dist.(pos) <- Id.cw_dist_key from_id to_id;
+    side.peers.(pos) <- peer;
+    side.ids.(pos) <- peer.Peer.id;
+    side.addrs.(pos) <- peer.Peer.addr;
+    side.n <- last + 1;
+    true
 
 let add t (peer : Peer.t) =
   if Id.equal peer.Peer.id t.own then false
   else begin
     let cap = half t in
-    let cw = { peer; dist = Id.cw_dist_key t.own peer.Peer.id } in
-    let ccw = { peer; dist = Id.cw_dist_key peer.Peer.id t.own } in
-    let larger', changed_l = insert_side t.larger cw ~cap in
-    let smaller', changed_s = insert_side t.smaller ccw ~cap in
-    t.larger <- larger';
-    t.smaller <- smaller';
-    changed_l || changed_s
+    let changed_l = side_add t.larger ~cap ~peer ~from_id:t.own ~to_id:peer.Peer.id in
+    let changed_s = side_add t.smaller ~cap ~peer ~from_id:peer.Peer.id ~to_id:t.own in
+    let changed = changed_l || changed_s in
+    if changed then t.members_cache <- None;
+    changed
   end
 
-let remove_addr t addr =
-  let filter l = List.filter (fun e -> e.peer.Peer.addr <> addr) l in
-  let before = List.length t.smaller + List.length t.larger in
-  t.smaller <- filter t.smaller;
-  t.larger <- filter t.larger;
-  List.length t.smaller + List.length t.larger <> before
+let side_remove side addr =
+  let w = ref 0 in
+  for i = 0 to side.n - 1 do
+    if side.addrs.(i) <> addr then begin
+      if !w < i then begin
+        side.hi.(!w) <- side.hi.(i);
+        side.dist.(!w) <- side.dist.(i);
+        side.peers.(!w) <- side.peers.(i);
+        side.ids.(!w) <- side.ids.(i);
+        side.addrs.(!w) <- side.addrs.(i)
+      end;
+      incr w
+    end
+  done;
+  let changed = !w <> side.n in
+  side.n <- !w;
+  changed
 
-let mem_addr t addr =
-  List.exists (fun e -> e.peer.Peer.addr = addr) t.smaller
-  || List.exists (fun e -> e.peer.Peer.addr = addr) t.larger
+let remove_addr t addr =
+  let changed_s = side_remove t.smaller addr in
+  let changed_l = side_remove t.larger addr in
+  let changed = changed_s || changed_l in
+  if changed then t.members_cache <- None;
+  changed
+
+let side_mem side addr =
+  let rec go i = i < side.n && (side.addrs.(i) = addr || go (i + 1)) in
+  go 0
+
+let mem_addr t addr = side_mem t.smaller addr || side_mem t.larger addr
 
 let members t =
-  let tbl = Hashtbl.create 64 in
-  let collect e =
-    if not (Hashtbl.mem tbl e.peer.Peer.addr) then Hashtbl.replace tbl e.peer.Peer.addr e.peer
-  in
-  List.iter collect t.smaller;
-  List.iter collect t.larger;
-  Hashtbl.fold (fun _ p acc -> p :: acc) tbl []
+  match t.members_cache with
+  | Some m -> m
+  | None ->
+    (* Keep the historical construction (and hence element order, which
+       downstream iteration — keepalives, replica scans — depends on
+       for determinism): dedup through a fresh Hashtbl, fold it out. *)
+    let tbl = Hashtbl.create 64 in
+    let collect side =
+      for i = 0 to side.n - 1 do
+        if not (Hashtbl.mem tbl side.addrs.(i)) then Hashtbl.replace tbl side.addrs.(i) side.peers.(i)
+      done
+    in
+    collect t.smaller;
+    collect t.larger;
+    let m = Hashtbl.fold (fun _ p acc -> p :: acc) tbl [] in
+    t.members_cache <- Some m;
+    m
 
-let smaller t = List.map (fun e -> e.peer) t.smaller
-let larger t = List.map (fun e -> e.peer) t.larger
+let side_list side = Array.to_list (Array.sub side.peers 0 side.n)
+let smaller t = side_list t.smaller
+let larger t = side_list t.larger
 let size t = List.length (members t)
-let is_empty t = t.smaller = [] && t.larger = []
+let is_empty t = t.smaller.n = 0 && t.larger.n = 0
 
-let rec last = function
-  | [] -> None
-  | [ x ] -> Some x
-  | _ :: rest -> last rest
-
-let extreme_smaller t = Option.map (fun e -> e.peer) (last t.smaller)
-let extreme_larger t = Option.map (fun e -> e.peer) (last t.larger)
+let extreme side = if side.n = 0 then None else Some side.peers.(side.n - 1)
+let extreme_smaller t = extreme t.smaller
+let extreme_larger t = extreme t.larger
 
 let covers t key =
   (* A side with spare capacity means we know every node on that side,
      so the leaf set effectively spans the whole ring. *)
   let cap = half t in
-  if List.length t.smaller < cap || List.length t.larger < cap then true
+  if t.smaller.n < cap || t.larger.n < cap then true
   else begin
-    match (last t.smaller, last t.larger) with
-    | Some lo, Some hi ->
-      (* Arc from lo clockwise to hi passes through own: the key is in
-         range iff its clockwise offset from lo does not exceed the
-         arc length, which is lo's ccw distance + hi's cw distance. *)
-      Id.dist_key_le_sum (Id.cw_dist_key lo.peer.Peer.id key) lo.dist hi.dist
-    | _ -> true
+    let s = t.smaller and l = t.larger in
+    (* Arc from lo clockwise to hi passes through own: the key is in
+       range iff its clockwise offset from lo does not exceed the
+       arc length, which is lo's ccw distance + hi's cw distance. *)
+    Id.dist_key_le_sum
+      (Id.cw_dist_key s.ids.(s.n - 1) key)
+      s.dist.(s.n - 1) l.dist.(l.n - 1)
   end
 
 let closest_to t key =
-  let better best e =
-    match best with
-    | None -> Some e.peer
-    | Some q -> if Id.closer ~target:key e.peer.Peer.id q.Peer.id < 0 then Some e.peer else Some q
+  (* Track the minimum by packed ring-distance prefix; only a prefix
+     tie falls back to the full [Id.closer] comparison. A strictly
+     smaller prefix implies a strictly smaller full key, and ties keep
+     the incumbent, so the winner matches the plain closer-scan
+     exactly. *)
+  let best = ref None in
+  let best_hi = ref max_int in
+  let scan side =
+    for i = 0 to side.n - 1 do
+      let h = Id.ring_dist_hi7 key side.ids.(i) in
+      if h < !best_hi then begin
+        best := Some side.peers.(i);
+        best_hi := h
+      end
+      else if h = !best_hi then
+        match !best with
+        | Some q when Id.closer ~target:key side.ids.(i) q.Peer.id < 0 -> best := Some side.peers.(i)
+        | Some _ | None -> ()
+    done
   in
-  List.fold_left better (List.fold_left better None t.smaller) t.larger
+  scan t.smaller;
+  scan t.larger;
+  !best
 
 let closest_including_self t key =
   match closest_to t key with
@@ -115,17 +209,35 @@ let closest_including_self t key =
 
 let replica_set t ~k key =
   if k <= 0 then invalid_arg "Leaf_set.replica_set: k must be positive";
-  let entries = `Self :: List.map (fun p -> `Peer p) (members t) in
-  let id_of = function `Self -> t.own | `Peer p -> p.Peer.id in
-  let sorted =
-    List.sort (fun a b -> Id.closer ~target:key (id_of a) (id_of b)) entries
+  (* Decorate-sort on the packed ring-distance prefix — computed once
+     per element instead of O(log n) full keys inside the comparator.
+     A prefix tie recomputes the full keys (random ids essentially
+     never tie); an exact distance tie breaks on the id, matching
+     [Id.closer]'s ordering. The order is total (distinct ids, and
+     [members] excludes own), so sort instability cannot show. *)
+  let decorate id elt = (Id.ring_dist_hi7 key id, id, elt) in
+  let entries =
+    decorate t.own `Self
+    :: List.map (fun p -> decorate p.Peer.id (`Peer p)) (members t)
   in
-  List.filteri (fun i _ -> i < k) sorted
+  let sorted =
+    List.sort
+      (fun (ha, ia, _) (hb, ib, _) ->
+        let c = compare (ha : int) hb in
+        if c <> 0 then c
+        else
+          let c = String.compare (Id.ring_dist_key key ia) (Id.ring_dist_key key ib) in
+          if c <> 0 then c else Id.compare ia ib)
+      entries
+  in
+  List.filteri (fun i _ -> i < k) sorted |> List.map (fun (_, _, elt) -> elt)
 
 let pp fmt t =
   let pp_side name side =
     Format.fprintf fmt "  %s:" name;
-    List.iter (fun e -> Format.fprintf fmt " %a" Peer.pp e.peer) side;
+    for i = 0 to side.n - 1 do
+      Format.fprintf fmt " %a" Peer.pp side.peers.(i)
+    done;
     Format.fprintf fmt "@."
   in
   Format.fprintf fmt "leaf set of %s@." (Id.short t.own);

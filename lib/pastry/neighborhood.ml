@@ -1,34 +1,74 @@
 module Id = Past_id.Id
 
-type entry = { peer : Peer.t; proximity : float }
-
-type t = { config : Config.t; own : Id.t; mutable entries : entry list (* closest first *) }
+(* Kept sorted by proximity, closest first, in parallel flat arrays
+   (an unboxed float array for the proximities): the membership check
+   and insert-position scan run on every [Node.learn], i.e. twice per
+   routed hop, so they must not chase list links through cold memory. *)
+type t = {
+  config : Config.t;
+  own : Id.t;
+  mutable n : int;
+  prox : float array;
+  peers : Peer.t array;
+  addrs : int array;
+}
 
 let create ~config ~own =
   Config.validate config;
-  { config; own; entries = [] }
+  let cap = Stdlib.max 1 config.Config.neighborhood_size in
+  {
+    config;
+    own;
+    n = 0;
+    prox = Array.make cap 0.0;
+    peers = Array.make cap (Peer.make ~id:own ~addr:(-1));
+    addrs = Array.make cap (-1);
+  }
 
 let add t ~proximity (peer : Peer.t) =
   if Id.equal peer.Peer.id t.own then false
-  else if List.exists (fun e -> e.peer.Peer.addr = peer.Peer.addr) t.entries then false
   else begin
     let cap = t.config.Config.neighborhood_size in
-    let rec ins = function
-      | [] -> [ { peer; proximity } ]
-      | e :: rest ->
-        if proximity < e.proximity then { peer; proximity } :: e :: rest else e :: ins rest
-    in
-    let entries = ins t.entries in
-    let trimmed = List.filteri (fun i _ -> i < cap) entries in
-    let changed = List.exists (fun e -> e.peer.Peer.addr = peer.Peer.addr) trimmed in
-    t.entries <- trimmed;
-    changed
+    let rec dup i = i < t.n && (t.addrs.(i) = peer.Peer.addr || dup (i + 1)) in
+    if dup 0 then false
+    else begin
+      (* Insertion point: after every entry with proximity <= ours, so
+         equal-proximity incumbents keep precedence. Beyond the cap the
+         offer is dropped without touching the arrays. *)
+      let rec pos i = if i < t.n && t.prox.(i) <= proximity then pos (i + 1) else i in
+      let pos = pos 0 in
+      if pos >= cap then false
+      else begin
+        let last = Stdlib.min (t.n + 1) cap - 1 in
+        for j = last downto pos + 1 do
+          t.prox.(j) <- t.prox.(j - 1);
+          t.peers.(j) <- t.peers.(j - 1);
+          t.addrs.(j) <- t.addrs.(j - 1)
+        done;
+        t.prox.(pos) <- proximity;
+        t.peers.(pos) <- peer;
+        t.addrs.(pos) <- peer.Peer.addr;
+        t.n <- last + 1;
+        true
+      end
+    end
   end
 
 let remove_addr t addr =
-  let before = List.length t.entries in
-  t.entries <- List.filter (fun e -> e.peer.Peer.addr <> addr) t.entries;
-  List.length t.entries <> before
+  let w = ref 0 in
+  for i = 0 to t.n - 1 do
+    if t.addrs.(i) <> addr then begin
+      if !w < i then begin
+        t.prox.(!w) <- t.prox.(i);
+        t.peers.(!w) <- t.peers.(i);
+        t.addrs.(!w) <- t.addrs.(i)
+      end;
+      incr w
+    end
+  done;
+  let changed = !w <> t.n in
+  t.n <- !w;
+  changed
 
-let members t = List.map (fun e -> e.peer) t.entries
-let size t = List.length t.entries
+let members t = Array.to_list (Array.sub t.peers 0 t.n)
+let size t = t.n

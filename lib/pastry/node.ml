@@ -33,6 +33,11 @@ type 'a t = {
   mutable maintenance : bool;
   mutable malicious : bool;
   pending_acks : (Net.addr, float) Hashtbl.t; (* addr -> failure deadline *)
+  (* Dedup scratch reused by [known_peers] (per rare-case hop, per
+     announce) instead of allocating a fresh Hashtbl each call. Reset —
+     not clear — between uses: reset restores the initial bucket count,
+     so iteration order matches a fresh table of the same size. *)
+  peers_scratch : (Net.addr, Peer.t) Hashtbl.t;
   mutable fwd_count : int;
   mutable ctl_count : int;
   (* Overlay-wide telemetry: all nodes of one overlay resolve the same
@@ -80,13 +85,15 @@ let fire_leaf_change t = match t.app with Some a -> a.on_leaf_change () | None -
 let learn t (peer : Peer.t) =
   if peer.Peer.addr <> t.self.Peer.addr && not (Id.equal peer.Peer.id t.self.Peer.id) then begin
     let leaf_changed = Leaf_set.add t.leaf peer in
-    ignore (Routing_table.consider t.rt ~proximity:(proximity_to t) peer);
-    ignore (Neighborhood.add t.nbhd ~proximity:(proximity_to t peer.Peer.addr) peer);
+    let prox = proximity_to t peer.Peer.addr in
+    ignore (Routing_table.consider_prox t.rt ~prox peer);
+    ignore (Neighborhood.add t.nbhd ~proximity:prox peer);
     if leaf_changed then fire_leaf_change t
   end
 
 let known_peers t =
-  let tbl = Hashtbl.create 64 in
+  let tbl = t.peers_scratch in
+  Hashtbl.reset tbl;
   let collect p = if not (Hashtbl.mem tbl p.Peer.addr) then Hashtbl.replace tbl p.Peer.addr p in
   List.iter collect (Leaf_set.members t.leaf);
   List.iter collect (Routing_table.peers t.rt);
@@ -384,6 +391,7 @@ let create ~net ~config ~rng ~id () =
       maintenance = false;
       malicious = false;
       pending_acks = Hashtbl.create 16;
+      peers_scratch = Hashtbl.create 64;
       fwd_count = 0;
       ctl_count = 0;
       tracer = Registry.tracer reg;

@@ -13,6 +13,13 @@ type 'a t = {
   by_addr : (Net.addr, 'a Node.t) Hashtbl.t;
   mutable sorted : 'a Node.t array; (* by id; rebuilt lazily *)
   mutable sorted_valid : bool;
+  (* Live-node array in insertion order, revalidated against the
+     network's liveness epoch and the node count: [random_live_node]
+     and [live_nodes] run per lookup in every experiment, so they must
+     not materialize the live set each call. *)
+  mutable live : 'a Node.t array;
+  mutable live_epoch : int; (* Net.liveness_epoch at build; -1 = never built *)
+  mutable live_count_at : int; (* node_count at build *)
 }
 
 let create ?(config = Config.default) ?topology ?(loss_rate = 0.0) ~seed () =
@@ -33,6 +40,9 @@ let create ?(config = Config.default) ?topology ?(loss_rate = 0.0) ~seed () =
     by_addr = Hashtbl.create 1024;
     sorted = [||];
     sorted_valid = true;
+    live = [||];
+    live_epoch = -1;
+    live_count_at = -1;
   }
 
 let net t = t.net
@@ -76,14 +86,29 @@ let sorted_nodes t =
   t.sorted
 
 let alive t node = Net.alive t.net (Node.addr node)
-let live_nodes t = List.filter (alive t) (List.rev t.nodes_rev)
+
+(* Live nodes in insertion order, cached until a node is added or any
+   liveness bit flips (tracked by the network's liveness epoch). The
+   insertion order and the single bounded draw in [random_live_node]
+   match the historical list-based implementation, so fixed-seed runs
+   are byte-identical. *)
+let live_array t =
+  let epoch = Net.liveness_epoch t.net in
+  if t.live_epoch <> epoch || t.live_count_at <> t.count then begin
+    t.live <- Array.of_list (List.filter (alive t) (List.rev t.nodes_rev));
+    t.live_epoch <- epoch;
+    t.live_count_at <- t.count
+  end;
+  t.live
+
+let live_nodes t = Array.to_list (live_array t)
 
 let random_node t =
   let a = nodes t in
   a.(Rng.int t.rng (Array.length a))
 
 let random_live_node t =
-  let live = Array.of_list (live_nodes t) in
+  let live = live_array t in
   if Array.length live = 0 then invalid_arg "Overlay.random_live_node: no live nodes";
   live.(Rng.int t.rng (Array.length live))
 
@@ -195,14 +220,12 @@ let populate_static ?(locality = true) ?(rt_samples = 8) t =
       let row = ref 0 in
       while !continue && !row < Config.rows t.config do
         let own_digit = Id.digit ~b id !row in
-        let row_has_peers = ref false in
         for col = 0 to Config.cols t.config - 1 do
           if col <> own_digit then begin
             let lo, hi = prefix_bounds ~b id !row col in
             let lo_i, hi_i = range_of t lo hi in
             let size = hi_i - lo_i in
             if size > 0 then begin
-              row_has_peers := true;
               let pick () = s.(lo_i + Rng.int t.rng size) in
               let chosen =
                 if not locality then pick ()
@@ -232,11 +255,10 @@ let populate_static ?(locality = true) ?(rt_samples = 8) t =
             end
           end
         done;
-        (* Stop once no other node shares this row's prefix: deeper rows
-           are necessarily empty. *)
+        (* Stop once no other node shares this node's prefix through this
+           row's own digit: deeper rows are necessarily empty. *)
         let lo, hi = prefix_bounds ~b id !row own_digit in
         let lo_i, hi_i = range_of t lo hi in
-        if hi_i - lo_i <= 1 && not !row_has_peers then continue := false;
         if hi_i - lo_i <= 1 then continue := false;
         incr row
       done;

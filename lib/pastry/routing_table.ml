@@ -33,6 +33,29 @@ let install t row col cell =
   if t.cells.(row).(col) = None then t.count <- t.count + 1;
   t.cells.(row).(col) <- Some cell
 
+(* Learn-path variant: the proximity is already known, and the row/col
+   are computed without the Option/tuple that [position] allocates —
+   this runs twice per routed hop, almost always hitting the
+   same-incumbent case. *)
+let consider_prox t ~prox (peer : Peer.t) =
+  let b = t.config.Config.b in
+  let row = Id.shared_prefix_digits ~b t.own peer.Peer.id in
+  if row >= Config.rows t.config then false (* id = own *)
+  else begin
+    let col = Id.digit ~b peer.Peer.id row in
+    match t.cells.(row).(col) with
+    | None ->
+      install t row col { peer; proximity = prox };
+      true
+    | Some incumbent when Peer.equal incumbent.peer peer -> false
+    | Some incumbent ->
+      if prox < incumbent.proximity then begin
+        install t row col { peer; proximity = prox };
+        true
+      end
+      else false
+  end
+
 let consider t ~proximity (peer : Peer.t) =
   match position t peer.Peer.id with
   | None -> false

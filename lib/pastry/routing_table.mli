@@ -18,6 +18,10 @@ val consider : t -> proximity:(Past_simnet.Net.addr -> float) -> Peer.t -> bool
     if the table changed. Own id and malformed candidates are
     ignored. *)
 
+val consider_prox : t -> prox:float -> Peer.t -> bool
+(** {!consider} with the candidate's proximity already computed — the
+    allocation-free variant used on the per-hop learn path. *)
+
 val consider_no_proximity : t -> Peer.t -> bool
 (** Like {!consider} but keeps the first-seen entry (no locality
     preference) — the "Chord-like, no network locality" baseline used in

@@ -8,10 +8,17 @@ type addr = int
 
 let pp_addr = Format.pp_print_int
 
+(* Per-kind accounting: one counter triple per message kind, resolved
+   through the registry once per kind and cached. The triple for a
+   message is resolved once at send time and carried in its Deliver
+   event, so delivery/drop accounting never re-runs [describe] or the
+   string-keyed lookup. *)
+type kind_counters = { k_sent : Counter.t; k_delivered : Counter.t; k_dropped : Counter.t }
+
 type 'msg event = { time : float; seq : int; action : 'msg action }
 
 and 'msg action =
-  | Deliver of { src : addr; dst : addr; msg : 'msg }
+  | Deliver of { src : addr; dst : addr; msg : 'msg; kinds : kind_counters }
   | Thunk of { owner : addr option; run : unit -> unit }
 
 type 'msg node = {
@@ -19,10 +26,6 @@ type 'msg node = {
   handler : addr -> 'msg -> unit;
   mutable up : bool;
 }
-
-(* Per-kind accounting: one counter triple per message kind, resolved
-   through the registry once and cached here for the hot path. *)
-type kind_counters = { k_sent : Counter.t; k_delivered : Counter.t; k_dropped : Counter.t }
 
 type 'msg t = {
   rng : Rng.t;
@@ -32,8 +35,12 @@ type 'msg t = {
   mutable clock : float;
   mutable seq : int;
   events : 'msg event Heap.t;
-  nodes : (addr, 'msg node) Hashtbl.t;
+  (* Addresses are dense ints handed out by [register], so the node
+     table is a growable array: O(1) lookup with no hashing on the
+     per-message hot path. Slots [next_addr..] are None. *)
+  mutable nodes : 'msg node option array;
   mutable next_addr : addr;
+  mutable liveness_epoch : int;
   registry : Registry.t;
   describe : 'msg -> string;
   c_sent : Counter.t;
@@ -55,8 +62,9 @@ let create ?(loss_rate = 0.0) ?(latency_factor = 1.0) ?registry ?(describe = fun
     clock = 0.0;
     seq = 0;
     events = Heap.create ~leq:(fun a b -> a.time < b.time || (a.time = b.time && a.seq <= b.seq));
-    nodes = Hashtbl.create 1024;
+    nodes = Array.make 1024 None;
     next_addr = 0;
+    liveness_epoch = 0;
     registry;
     describe;
     c_sent = Registry.counter registry "net.sent";
@@ -90,13 +98,22 @@ let counters_for_kind t kind =
 let register t ~handler =
   let addr = t.next_addr in
   t.next_addr <- addr + 1;
-  Hashtbl.replace t.nodes addr { location = Topology.sample t.topology t.rng; handler; up = true };
+  if addr >= Array.length t.nodes then begin
+    let grown = Array.make (2 * Array.length t.nodes) None in
+    Array.blit t.nodes 0 grown 0 (Array.length t.nodes);
+    t.nodes <- grown
+  end;
+  t.nodes.(addr) <-
+    Some { location = Topology.sample t.topology t.rng; handler; up = true };
   addr
 
 let now t = t.clock
 
+let[@inline] node_opt t addr =
+  if addr < 0 || addr >= t.next_addr then None else Array.unsafe_get t.nodes addr
+
 let node t addr =
-  match Hashtbl.find_opt t.nodes addr with
+  match node_opt t addr with
   | Some n -> n
   | None -> invalid_arg (Printf.sprintf "Net: unknown address %d" addr)
 
@@ -107,40 +124,44 @@ let push t time action =
 let proximity t a b = Topology.proximity t.topology (node t a).location (node t b).location
 let max_proximity t = Topology.max_proximity t.topology
 
-let drop t kind =
+let drop t kinds =
   Counter.incr t.c_dropped;
-  Counter.incr (kind_counters t kind).k_dropped
+  Counter.incr kinds.k_dropped
 
 let send t ~src ~dst msg =
-  let kind = t.describe msg in
+  let kinds = kind_counters t (t.describe msg) in
   Counter.incr t.c_sent;
-  Counter.incr (kind_counters t kind).k_sent;
-  if t.loss_rate > 0.0 && Rng.chance t.rng t.loss_rate then drop t kind
+  Counter.incr kinds.k_sent;
+  if t.loss_rate > 0.0 && Rng.chance t.rng t.loss_rate then drop t kinds
   else begin
     let latency = t.latency_factor *. proximity t src dst in
     (* A small jitter keeps event ordering from being an artifact of
        identical distances. *)
     let jitter = Rng.float t.rng 0.01 in
     Histogram.observe t.latency (latency +. jitter);
-    push t (t.clock +. latency +. jitter) (Deliver { src; dst; msg })
+    push t (t.clock +. latency +. jitter) (Deliver { src; dst; msg; kinds })
   end
 
 let schedule t ~delay run =
   if delay < 0.0 then invalid_arg "Net.schedule: negative delay";
   push t (t.clock +. delay) (Thunk { owner = None; run })
 
-let set_alive t addr up = (node t addr).up <- up
+let set_alive t addr up =
+  t.liveness_epoch <- t.liveness_epoch + 1;
+  (node t addr).up <- up
+
 let alive t addr = (node t addr).up
-let node_count t = Hashtbl.length t.nodes
+let liveness_epoch t = t.liveness_epoch
+let node_count t = t.next_addr
 
 let dispatch t = function
-  | Deliver { src; dst; msg } -> (
-    match Hashtbl.find_opt t.nodes dst with
+  | Deliver { src; dst; msg; kinds } -> (
+    match node_opt t dst with
     | Some n when n.up ->
       Counter.incr t.c_delivered;
-      Counter.incr (kind_counters t (t.describe msg)).k_delivered;
+      Counter.incr kinds.k_delivered;
       n.handler src msg
-    | Some _ | None -> drop t (t.describe msg))
+    | Some _ | None -> drop t kinds)
   | Thunk { owner; run } -> (
     match owner with
     | Some a when not (alive t a) -> ()

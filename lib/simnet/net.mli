@@ -55,6 +55,12 @@ val set_alive : _ t -> addr -> bool -> unit
     thunks. *)
 
 val alive : _ t -> addr -> bool
+
+val liveness_epoch : _ t -> int
+(** Bumped on every [set_alive] call — lets callers cache derived
+    liveness state (e.g. the overlay's live-node array) and revalidate
+    with one int comparison. *)
+
 val node_count : _ t -> int
 val proximity : _ t -> addr -> addr -> float
 (** Topology distance between two registered nodes. *)

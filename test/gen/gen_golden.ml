@@ -1,0 +1,8 @@
+(* Regenerates the determinism golden fixture:
+
+     dune exec test/gen/gen_golden.exe > test/exp1_hops.golden
+
+   See Past_experiments.Report.determinism_fixture for what it covers
+   and when regeneration is legitimate. *)
+
+let () = print_string (Past_experiments.Report.determinism_fixture ())

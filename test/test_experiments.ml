@@ -165,9 +165,35 @@ let quota_economy_conserves () =
   check Alcotest.bool "reclaims credited" true
     (r.quota_used_after_reclaims < r.quota_used_after_inserts)
 
+let golden_determinism () =
+  (* Byte-identical output against the committed golden file: any drift
+     in RNG consumption, event ordering or telemetry counter totals —
+     e.g. from a hot-path "optimization" that is not actually
+     behavior-preserving — fails here. Regenerate with
+     `dune exec test/gen/gen_golden.exe > test/exp1_hops.golden` only
+     when the change in behavior is intentional. *)
+  let actual = Past_experiments.Report.determinism_fixture () in
+  (* dune runtest runs in the stanza's build dir; dune exec from the
+     project root. *)
+  let path =
+    if Sys.file_exists "exp1_hops.golden" then "exp1_hops.golden" else "test/exp1_hops.golden"
+  in
+  let ic = open_in_bin path in
+  let expected = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  if not (String.equal actual expected) then begin
+    let n = Stdlib.min (String.length actual) (String.length expected) in
+    let rec first_diff i = if i < n && actual.[i] = expected.[i] then first_diff (i + 1) else i in
+    Alcotest.failf
+      "EXP1 output drifted from test/exp1_hops.golden (first difference at byte %d; %d vs %d \
+       bytes). If intentional, regenerate with `dune exec test/gen/gen_golden.exe`."
+      (first_diff 0) (String.length actual) (String.length expected)
+  end
+
 let suite =
   ( "experiments",
     [
+      "EXP1 golden determinism" => golden_determinism;
       "EXP1 hops grow logarithmically" => hops_grow_logarithmically;
       "EXP2 hop distribution" => hop_distribution_sums_to_one;
       "EXP3 state below formula" => state_below_formula;

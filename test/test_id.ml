@@ -164,6 +164,105 @@ let qcheck_le_sum =
       let na = Id.distance a b and nb = Id.distance b c and nd = Id.distance a c in
       Id.dist_key_le_sum kd ka kb = (Nat.compare nd (Nat.add na nb) <= 0))
 
+(* [i] with its top bit flipped, i.e. i + 2^(bits-1) mod 2^bits — the
+   point where a clockwise distance is its own two's-complement
+   negation, which stresses the min(e, -e) branch of the fast paths. *)
+let flip_top_bit i =
+  let w = Id.bits i in
+  let h = Id.to_hex i in
+  let b0 = int_of_string ("0x" ^ String.sub h 0 2) lxor 0x80 in
+  Id.of_hex ~width:w (Printf.sprintf "%02x%s" b0 (String.sub h 2 (String.length h - 2)))
+
+(* Fast [Id.closer] against the Nat-based oracle on crafted inputs:
+   ring wraparound around 0/2^w, exact equal-distance ties (t±d),
+   the 0x80… self-negation point, x = target, and widths covering both
+   the packed-int fast path and (at 256 bits) the wide fallback. *)
+let adversarial_closer () =
+  List.iter
+    (fun width ->
+      let rng = Rng.create 7 in
+      let zero = Id.zero ~width and maxid = Id.max_id ~width in
+      for _ = 1 to 25 do
+        let t = Id.random rng ~width in
+        List.iter
+          (fun d ->
+            let cases =
+              [
+                (t, Id.add_int t d, Id.add_int t (-d));
+                (t, Id.add_int t (-d), Id.add_int t d);
+                (zero, maxid, Id.add_int zero d);
+                (zero, Id.add_int zero (-d), Id.add_int zero d);
+                (maxid, zero, Id.add_int maxid (-d));
+                (t, flip_top_bit t, Id.add_int t d);
+                (t, flip_top_bit t, t);
+                (t, t, Id.add_int t d);
+                (Id.add_int t d, t, flip_top_bit t);
+              ]
+            in
+            List.iter
+              (fun (target, x, y) ->
+                check Alcotest.int
+                  (Printf.sprintf "w=%d d=%d closer(%s; %s, %s)" width d (Id.short target)
+                     (Id.short x) (Id.short y))
+                  (compare (Id.closer_oracle ~target x y) 0)
+                  (compare (Id.closer ~target x y) 0))
+              cases)
+          [ 1; 2; 255; 256; 65535 ]
+      done)
+    [ 128; 160; 256 ]
+
+let qcheck_closer_oracle_wide =
+  (* 256-bit ids exceed the packed-mask budget, forcing the string-key
+     fallback inside [closer]; the oracle must still agree. *)
+  QCheck.Test.make ~name:"closer = oracle (256-bit fallback)" ~count:300
+    (QCheck.triple (QCheck.make ~print:Id.to_hex (gen_id 256))
+       (QCheck.make ~print:Id.to_hex (gen_id 256))
+       (QCheck.make ~print:Id.to_hex (gen_id 256)))
+    (fun (t, x, y) ->
+      compare (Id.closer ~target:t x y) 0 = compare (Id.closer_oracle ~target:t x y) 0)
+
+(* Reference repack of a full distance key's leading bytes, used to pin
+   down the allocation-free hi7 variants. *)
+let hi_of_key d =
+  let k = Stdlib.min 7 (String.length d) in
+  let v = ref 0 in
+  for i = 0 to k - 1 do
+    v := (!v lsl 8) lor Char.code d.[i]
+  done;
+  !v
+
+let qcheck_hi7_matches_keys =
+  QCheck.Test.make ~name:"cw/ring hi7 = packed key prefix" ~count:500 arb_pair (fun (a, b) ->
+      Id.cw_dist_hi7 a b = hi_of_key (Id.cw_dist_key a b)
+      && Id.ring_dist_hi7 a b = hi_of_key (Id.ring_dist_key a b))
+
+let adversarial_hi7 () =
+  (* Adjacent ids (borrow chains through the suffix), top-bit flips
+     (zero suffix, so negation carries into the packed bytes), and
+     widths at / below the 7-byte pack. *)
+  List.iter
+    (fun width ->
+      let rng = Rng.create 11 in
+      for _ = 1 to 50 do
+        let t = Id.random rng ~width in
+        let others =
+          [ Id.add_int t 1; Id.add_int t (-1); Id.add_int t 256; flip_top_bit t;
+            Id.add_int (flip_top_bit t) 1; Id.zero ~width; Id.max_id ~width ]
+        in
+        List.iter
+          (fun x ->
+            check Alcotest.int
+              (Printf.sprintf "w=%d cw_hi7 %s %s" width (Id.short t) (Id.short x))
+              (hi_of_key (Id.cw_dist_key t x))
+              (Id.cw_dist_hi7 t x);
+            check Alcotest.int
+              (Printf.sprintf "w=%d ring_hi7 %s %s" width (Id.short t) (Id.short x))
+              (hi_of_key (Id.ring_dist_key t x))
+              (Id.ring_dist_hi7 t x))
+          others
+      done)
+    [ 16; 56; 64; 128; 160 ]
+
 let qcheck_prefix_symmetric =
   QCheck.Test.make ~name:"shared prefix symmetric" ~count:300 arb_pair (fun (a, b) ->
       Id.shared_prefix_digits ~b:4 a b = Id.shared_prefix_digits ~b:4 b a)
@@ -197,6 +296,10 @@ let suite =
       QCheck_alcotest.to_alcotest qcheck_cw_key_matches_nat;
       QCheck_alcotest.to_alcotest qcheck_ring_key_matches_nat;
       QCheck_alcotest.to_alcotest qcheck_closer_matches_nat;
+      "closer vs oracle, adversarial ids" => adversarial_closer;
+      QCheck_alcotest.to_alcotest qcheck_closer_oracle_wide;
+      QCheck_alcotest.to_alcotest qcheck_hi7_matches_keys;
+      "dist hi7 vs keys, adversarial ids" => adversarial_hi7;
       QCheck_alcotest.to_alcotest qcheck_le_sum;
       QCheck_alcotest.to_alcotest qcheck_prefix_symmetric;
       QCheck_alcotest.to_alcotest qcheck_digit_reassembly;
