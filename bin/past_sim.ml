@@ -61,6 +61,62 @@ let metrics_cmd =
   let f json trace = Past_experiments.Report.metrics ~json ~trace () in
   Cmd.v (Cmd.info "metrics" ~doc) Term.(const f $ json_arg $ trace_arg)
 
+(* Dedicated `churn` command: same experiment as `past_sim churn` would
+   auto-generate from the registry, plus knobs for the fault process
+   itself (which --scale deliberately does not touch). *)
+let churn_cmd =
+  let module Exp_churn = Past_experiments.Exp_churn in
+  let doc =
+    "Run the sustained-churn invariant experiment (EXP14): a Poisson crash/rejoin process \
+     with continuous availability probes, replica-recovery tracking and repair-cost \
+     accounting."
+  in
+  let rate_arg =
+    let doc = "Crash arrivals per simulated time unit (default 0.001)." in
+    Arg.(value & opt (some float) None & info [ "rate" ] ~docv:"R" ~doc)
+  in
+  let duration_arg =
+    let doc =
+      "Churn horizon in simulated time units (default 1800000 = 30 simulated minutes, \
+       multiplied by --scale when not given explicitly)."
+    in
+    Arg.(value & opt (some float) None & info [ "duration" ] ~docv:"T" ~doc)
+  in
+  let seed_arg =
+    let doc = "RNG seed (default 4); runs are a pure function of it." in
+    Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let f scale json rate duration seed =
+    apply_scale scale;
+    let p = Exp_churn.default_params in
+    let p =
+      {
+        p with
+        Exp_churn.rate = Option.value ~default:p.Exp_churn.rate rate;
+        duration =
+          (match duration with
+          | Some d -> d
+          | None ->
+            Float.max 60_000.0 (p.Exp_churn.duration *. Past_experiments.Report.scale ()));
+        seed = Option.value ~default:p.Exp_churn.seed seed;
+      }
+    in
+    let out =
+      Past_experiments.Report.tables
+        [
+          ( "EXP14: invariants under sustained churn (C5 repair cost, C6 availability)",
+            Exp_churn.table (Exp_churn.run p) );
+        ]
+    in
+    if json then
+      print_endline
+        (Past_stdext.Json.to_string ~indent:true
+           (Past_experiments.Report.json_of_output ~trace:0 "churn" out))
+    else Past_experiments.Report.print_output ~trace:0 out
+  in
+  Cmd.v (Cmd.info "churn" ~doc)
+    Term.(const f $ scale_arg $ json_arg $ rate_arg $ duration_arg $ seed_arg)
+
 let list_cmd =
   let doc = "List available experiments." in
   let f () = List.iter print_endline experiment_names in
@@ -70,7 +126,9 @@ let () =
   let doc = "PAST reproduction: run the paper's experiments on the simulator" in
   let info = Cmd.info "past_sim" ~version:"1.0.0" ~doc in
   let subcommands =
-    all_cmd :: list_cmd :: metrics_cmd
-    :: List.map (fun (name, _) -> run_cmd name) Past_experiments.Report.all
+    all_cmd :: list_cmd :: metrics_cmd :: churn_cmd
+    :: List.filter_map
+         (fun (name, _) -> if name = "churn" then None else Some (run_cmd name))
+         Past_experiments.Report.all
   in
   exit (Cmd.eval (Cmd.group info subcommands))

@@ -1,0 +1,390 @@
+(* EXP14 — sustained churn with continuous invariant checking (claims
+   C5/C6).
+
+   Where the soak test drives a mixed workload and audits availability
+   once at the end, this experiment holds the stored set fixed and
+   checks the paper's storage-management invariants *while* a sustained
+   join/leave process runs, driven by the declarative fault engine
+   (Past_simnet.Churn):
+
+   - C6 availability: a probe loop looks files up throughout the run;
+     transient failures are tolerated but every live file must
+     eventually be found again, and no file may be lost by the end.
+   - C6 durability: a scan loop tracks each file's live replica count;
+     whenever it drops below k while at least one live copy remains
+     (i.e. the deficit is repairable), the time until it returns to k
+     is recorded and must stay within a bound derived from the
+     failure-detection and re-replication parameters. Windows with
+     zero live replicas cannot be repaired until a holder rejoins and
+     are reported separately as outages.
+   - C5 repair cost: leaf-set repair traffic per churn event must stay
+     O(log_2^b N). The measured constant is dominated by the leaf-set
+     size l (every leaf neighbour of a failed node runs a repair
+     exchange — see EXP7), so the invariant is asserted per leaf-set
+     slot: (leaf repair msgs per event) / l <= 2 * ceil(log_2^b N).
+     Keep-alives burned on dead nodes and re-replication transfers are
+     reported alongside but not bounded — the former is steady-state
+     detection cost, the latter is data volume, not routing repair. *)
+
+module System = Past_core.System
+module Client = Past_core.Client
+module Node = Past_core.Node
+module Store = Past_core.Store
+module Overlay = Past_pastry.Overlay
+module PNode = Past_pastry.Node
+module Config = Past_pastry.Config
+module Net = Past_simnet.Net
+module Churn = Past_simnet.Churn
+module Rng = Past_stdext.Rng
+module Id = Past_id.Id
+module Text_table = Past_stdext.Text_table
+module Registry = Past_telemetry.Registry
+module Counter = Past_telemetry.Counter
+module Histogram = Past_telemetry.Histogram
+
+type params = {
+  n : int;
+  capacity : int;
+  k : int;
+  files : int;
+  rate : float;  (** crash arrivals per simulated time unit *)
+  mean_downtime : float;
+  duration : float;  (** simulated churn horizon (time units ~ ms) *)
+  probe_period : float;
+  scan_period : float;
+  seed : int;
+}
+
+let default_params =
+  {
+    n = 60;
+    capacity = 3_000_000;
+    k = 3;
+    files = 40;
+    rate = 0.001 (* one crash per 1000 units; ~ rate * mean_downtime nodes down *);
+    mean_downtime = 8_000.0;
+    duration = 1_800_000.0 (* 30 simulated minutes at ms-scale units *);
+    probe_period = 2_500.0;
+    scan_period = 1_000.0;
+    seed = 4;
+  }
+
+type result = {
+  n : int;
+  duration : float;
+  crashes : int;
+  recoveries : int;
+  files : int;
+  probes : int;
+  probe_failures : int;  (** transient lookup failures during churn *)
+  lost_files : int;  (** live files not found after quiescence — must be 0 *)
+  deficits : int;  (** repairable below-k windows observed *)
+  deficit_p50 : float;
+  deficit_max : float;
+  recovery_bound : float;
+  recovery_ok : bool;
+  outages : int;  (** windows with zero live replicas *)
+  outage_max : float;
+  leaf_msgs : int;
+  keepalives_burned : int;
+  rereplications : int;
+  per_event_leaf_msgs : float;
+  per_slot : float;  (** per leaf-set slot, the C5 invariant metric *)
+  repair_bound : float;  (** 2 * ceil(log_2^b N) *)
+  repair_ok : bool;
+  final_live_nodes : int;
+}
+
+let run params =
+  let node_config =
+    { Node.default_config with Node.verify_certificates = false; replication_delay = 200.0 }
+  in
+  let sys =
+    System.create ~node_config ~build:`Dynamic ~seed:params.seed ~n:params.n
+      ~node_capacity:(fun _ _ -> params.capacity)
+      ()
+  in
+  let net = System.net sys in
+  let reg = System.registry sys in
+  let nodes = System.nodes sys in
+  let cfg = Overlay.config (System.overlay sys) in
+  let rng = Rng.create (params.seed + 1) in
+  let clients =
+    Array.init 4 (fun _ ->
+        System.new_client sys ~verify:false ~op_timeout:2_000.0 ~quota:max_int ())
+  in
+
+  (* Fixed catalog: insert the files before churn starts. *)
+  let catalog =
+    Array.init params.files (fun i ->
+        match
+          Client.insert_sync
+            clients.(i mod Array.length clients)
+            ~name:(Printf.sprintf "churn-file-%d" i)
+            ~data:"" ~declared_size:10_000 ~k:params.k ()
+        with
+        | Client.Inserted { file_id; _ } -> Some file_id
+        | Client.Insert_failed _ -> None)
+    |> Array.to_list |> List.filter_map Fun.id |> Array.of_list
+  in
+  System.start_maintenance sys;
+  (* Let keep-alive timers desynchronize and reach steady state before
+     measuring, so repair counters don't include join traffic. *)
+  System.run ~until:(Net.now net +. 5_000.0) sys;
+  let t0 = Net.now net in
+  let sent kind = match Net.counters_for_kind net kind with s, _, _ -> s in
+  let dropped kind = match Net.counters_for_kind net kind with _, _, d -> d in
+  let c_rereplicate = Registry.counter reg "past.rereplicate.sent" in
+  let leaf_msgs0 = sent "leaf_request" + sent "leaf_reply" in
+  let keepalive_drops0 = dropped "keepalive" in
+  let rereplicate0 = Counter.value c_rereplicate in
+
+  (* The sustained join/leave process, armed as a declarative plan. *)
+  let plan =
+    Churn.sustained
+      ~rng:(Rng.create (params.seed + 2))
+      ~addrs:(Array.map Node.addr nodes)
+      ~rate:params.rate ~mean_downtime:params.mean_downtime ~horizon:params.duration
+      ~min_live:(3 * params.n / 4) ()
+  in
+  let plan = List.map (fun e -> { e with Churn.at = e.Churn.at +. t0 }) plan in
+  let debug = Sys.getenv_opt "PAST_CHURN_DEBUG" <> None in
+  let hooks =
+    {
+      Churn.on_crash =
+        (fun addr ->
+          if debug then Printf.eprintf "[%.0f] crash addr %d\n" (Net.now net) addr);
+      on_recover =
+        (fun addr ->
+          if debug then Printf.eprintf "[%.0f] recover addr %d\n" (Net.now net) addr;
+          let node = System.node_of_pastry_addr sys addr in
+          PNode.recover (Node.pastry node);
+          Node.notify_revived node);
+    }
+  in
+  Churn.apply ~hooks net plan;
+
+  (* C6 probe loop: look up a random file every probe_period; files that
+     failed are re-probed every tick until they are found again, so a
+     single run distinguishes transient misses from lost files. *)
+  let probes = ref 0 and probe_failures = ref 0 in
+  let failed_files : (Id.t, unit) Hashtbl.t = Hashtbl.create 8 in
+  let live_client () =
+    let m = Array.length clients in
+    let rec pick i =
+      if i >= m then None
+      else
+        let c = clients.((i + Rng.int rng m) mod m) in
+        if Net.alive net (Node.addr (Client.access c)) then Some c else pick (i + 1)
+    in
+    pick 0
+  in
+  let probe_file file_id =
+    incr probes;
+    match live_client () with
+    | None -> incr probe_failures (* every access point is down right now *)
+    | Some c ->
+      Client.lookup c ~retries:2 ~file_id (function
+        | Client.Found _ -> Hashtbl.remove failed_files file_id
+        | Client.Lookup_failed ->
+          incr probe_failures;
+          if not (Hashtbl.mem failed_files file_id) then Hashtbl.add failed_files file_id ())
+  in
+  let horizon = t0 +. params.duration in
+  let rec probe_tick () =
+    if Net.now net < horizon then begin
+      let pending = Hashtbl.fold (fun fid () acc -> fid :: acc) failed_files [] in
+      List.iter probe_file pending;
+      if Array.length catalog > 0 then probe_file catalog.(Rng.int rng (Array.length catalog));
+      Net.schedule net ~delay:params.probe_period probe_tick
+    end
+  in
+  Net.schedule net ~delay:params.probe_period probe_tick;
+
+  (* C6 replica scan: track below-k windows per file. The repair clock
+     only runs while at least one live copy exists — a file whose every
+     replica holder is down is an outage (unrepairable until a holder
+     rejoins), accounted separately. The clock restarts whenever the
+     count drops *further*: each additional crash in the replica set is
+     its own disruption with its own detection + repair cycle, so the
+     bound is per-disruption, not per-window. Granularity:
+     +-scan_period. *)
+  let deficit_hist = Registry.histogram reg "churn.recovery_latency" in
+  (* file -> (clock start of the latest disruption, count at that point) *)
+  let deficit_since : (Id.t, float * int) Hashtbl.t = Hashtbl.create 16 in
+  let outage_since : (Id.t, float) Hashtbl.t = Hashtbl.create 4 in
+  let outages = ref 0 and outage_max = ref 0.0 in
+  let live_replicas fid =
+    Array.fold_left
+      (fun acc nd ->
+        if Net.alive net (Node.addr nd) && Store.mem (Node.store nd) fid then acc + 1 else acc)
+      0 nodes
+  in
+  let close_outage fid now =
+    match Hashtbl.find_opt outage_since fid with
+    | Some since ->
+      incr outages;
+      if now -. since > !outage_max then outage_max := now -. since;
+      Hashtbl.remove outage_since fid
+    | None -> ()
+  in
+  let scan_file now fid =
+    let c = live_replicas fid in
+    if debug then begin
+      match Hashtbl.find_opt deficit_since fid with
+      | Some (since, _) when c >= params.k ->
+        Printf.eprintf "[%.0f] %s repaired after %.0f\n" now (Id.to_hex fid) (now -. since)
+      | Some (_, last) when c <> last ->
+        Printf.eprintf "[%.0f] %s count %d -> %d\n" now (Id.to_hex fid) last c
+      | None when c < params.k && c > 0 ->
+        Printf.eprintf "[%.0f] %s deficit opens at %d\n" now (Id.to_hex fid) c
+      | _ -> ()
+    end;
+    if c >= params.k then begin
+      close_outage fid now;
+      match Hashtbl.find_opt deficit_since fid with
+      | Some (since, _) ->
+        Histogram.observe deficit_hist (now -. since);
+        Hashtbl.remove deficit_since fid
+      | None -> ()
+    end
+    else if c = 0 then begin
+      (* Unrepairable: pause the repair clock until a copy reappears. *)
+      Hashtbl.remove deficit_since fid;
+      if not (Hashtbl.mem outage_since fid) then Hashtbl.add outage_since fid now
+    end
+    else begin
+      close_outage fid now;
+      match Hashtbl.find_opt deficit_since fid with
+      | None -> Hashtbl.add deficit_since fid (now, c)
+      | Some (_, last) when c < last ->
+        (* Another holder went down: a fresh disruption, fresh clock. *)
+        Hashtbl.replace deficit_since fid (now, c)
+      | Some (since, last) when c > last ->
+        (* Partial recovery (a holder rejoined): keep the clock. *)
+        Hashtbl.replace deficit_since fid (since, c)
+      | Some _ -> ()
+    end
+  in
+  let rec scan_tick () =
+    let now = Net.now net in
+    if now < horizon then begin
+      Array.iter (scan_file now) catalog;
+      Net.schedule net ~delay:params.scan_period scan_tick
+    end
+  in
+  Net.schedule net ~delay:params.scan_period scan_tick;
+
+  (* Run the churn phase, then quiesce: pending recoveries (scheduled
+     past the horizon) fire, repair finishes, and the final audit runs
+     against a fully-live network. *)
+  System.run ~until:horizon sys;
+  System.run ~until:(Net.now net +. (5.0 *. params.mean_downtime)) sys;
+  Array.iter
+    (fun node -> if not (Net.alive net (Node.addr node)) then System.revive_node sys node)
+    nodes;
+  System.run
+    ~until:
+      (Net.now net
+      +. (3.0 *. cfg.Config.failure_timeout)
+      +. (3.0 *. cfg.Config.keepalive_period)
+      +. 5_000.0)
+    sys;
+
+  (* Close any window still open at the end of the run. *)
+  let t_end = Net.now net in
+  Array.iter (scan_file t_end) catalog;
+  Hashtbl.iter
+    (fun _ (since, _) -> Histogram.observe deficit_hist (t_end -. since))
+    deficit_since;
+  Hashtbl.iter
+    (fun _ since ->
+      incr outages;
+      if t_end -. since > !outage_max then outage_max := t_end -. since)
+    outage_since;
+
+  (* Final audit: with everyone back up, every file must be found. *)
+  let lost = ref 0 in
+  Array.iter
+    (fun file_id ->
+      match Client.lookup_sync clients.(0) ~retries:3 ~file_id () with
+      | Client.Found _ -> ()
+      | Client.Lookup_failed -> incr lost)
+    catalog;
+  System.stop_maintenance sys;
+  System.run ~until:(Net.now net +. 60_000.0) sys;
+
+  let crashes = Churn.crashes net and recoveries = Churn.recoveries net in
+  let events = Stdlib.max 1 (crashes + recoveries) in
+  let leaf_msgs = sent "leaf_request" + sent "leaf_reply" - leaf_msgs0 in
+  let per_event = float_of_int leaf_msgs /. float_of_int events in
+  let per_slot = per_event /. float_of_int cfg.Config.leaf_set_size in
+  let repair_bound = 2.0 *. Float.ceil (Harness.log2b params.n cfg.Config.b) in
+  (* Worst-case repairable recovery: one detection window is
+     failure_timeout plus up to two keep-alive periods of tick phase;
+     repair can chain two of them (the holder that ends up pushing may
+     only recompute its replica set after a leaf-repair exchange with
+     the neighbour that detected the crash), then the re-replication
+     debounce, plus scan granularity on both edges. *)
+  let detection =
+    cfg.Config.failure_timeout +. (2.0 *. cfg.Config.keepalive_period)
+  in
+  let recovery_bound =
+    (2.0 *. detection)
+    +. node_config.Node.replication_delay
+    +. (2.0 *. params.scan_period)
+    +. 1_000.0
+  in
+  let summary = Histogram.summary deficit_hist in
+  {
+    n = params.n;
+    duration = params.duration;
+    crashes;
+    recoveries;
+    files = Array.length catalog;
+    probes = !probes;
+    probe_failures = !probe_failures;
+    lost_files = !lost;
+    deficits = summary.Histogram.s_count;
+    deficit_p50 = summary.Histogram.s_p50;
+    deficit_max = summary.Histogram.s_max;
+    recovery_bound;
+    recovery_ok = summary.Histogram.s_max <= recovery_bound;
+    outages = !outages;
+    outage_max = !outage_max;
+    leaf_msgs;
+    keepalives_burned = dropped "keepalive" - keepalive_drops0;
+    rereplications = Counter.value c_rereplicate - rereplicate0;
+    per_event_leaf_msgs = per_event;
+    per_slot;
+    repair_bound;
+    repair_ok = per_slot <= repair_bound;
+    final_live_nodes = List.length (Overlay.live_nodes (System.overlay sys));
+  }
+
+let table r =
+  let t = Text_table.create [ "metric"; "value"; "invariant" ] in
+  let pass ok = if ok then "PASS" else "FAIL" in
+  Text_table.add_rowf t "network / churn horizon|N=%d, %.0f time units|" r.n r.duration;
+  Text_table.add_rowf t "churn events (crash / recover)|%d / %d|" r.crashes r.recoveries;
+  Text_table.add_rowf t "final live nodes|%d|" r.final_live_nodes;
+  Text_table.add_rowf t "probes (transient failures)|%d (%d)|" r.probes r.probe_failures;
+  Text_table.add_rowf t "live files lost|%d of %d|%s: C6, must be 0" r.lost_files r.files
+    (pass (r.lost_files = 0));
+  Text_table.add_rowf t "replica deficits repaired|%d (p50 %.0f, max %.0f)|" r.deficits
+    r.deficit_p50 r.deficit_max;
+  Text_table.add_rowf t "recovery latency vs bound|%.0f <= %.0f|%s: C6 bounded repair"
+    r.deficit_max r.recovery_bound (pass r.recovery_ok);
+  Text_table.add_rowf t "outages (all k holders down)|%d (max %.0f)|" r.outages r.outage_max;
+  Text_table.add_rowf t "leaf repair msgs / event|%.1f (total %d)|" r.per_event_leaf_msgs
+    r.leaf_msgs;
+  Text_table.add_rowf t "repair msgs per leaf slot|%.2f <= %.0f|%s: C5 O(log_2^b N)" r.per_slot
+    r.repair_bound (pass r.repair_ok);
+  Text_table.add_rowf t "keep-alives burned on dead nodes|%d|" r.keepalives_burned;
+  Text_table.add_rowf t "re-replication transfers|%d|" r.rereplications;
+  t
+
+let print () =
+  Text_table.print
+    ~title:"EXP14: invariants under sustained churn (C5 repair cost, C6 availability)"
+    (table (run default_params))

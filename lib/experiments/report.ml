@@ -178,6 +178,18 @@ let run_soak () =
         Exp_soak.table (Exp_soak.run Exp_soak.default_params) );
     ]
 
+let run_churn () =
+  let p = Exp_churn.default_params in
+  (* Churn scales its horizon, not its sampling: the invariants are
+     about behaviour over time. Floor it at one full fault cycle so a
+     smoke pass still exercises crash, detection and repair. *)
+  let duration = Float.max 60_000.0 (p.Exp_churn.duration *. scale ()) in
+  tables
+    [
+      ( "EXP14: invariants under sustained churn (C5 repair cost, C6 availability)",
+        Exp_churn.table (Exp_churn.run { p with Exp_churn.duration }) );
+    ]
+
 let all : (string * (unit -> output)) list =
   [
     ("hops", run_hops);
@@ -193,6 +205,7 @@ let all : (string * (unit -> output)) list =
     ("quota", run_quota);
     ("ablation", run_ablation);
     ("soak", run_soak);
+    ("churn", run_churn);
   ]
 
 (* --- rendering --------------------------------------------------------- *)

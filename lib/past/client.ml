@@ -25,6 +25,8 @@ and insert_result =
 type lookup_state = {
   mutable lk_settled : bool;
   mutable retries_left : int;
+  mutable lk_attempt : int;
+  mutable lk_retry_pending : bool;  (* a backed-off re-send is scheduled *)
   lk_cb : lookup_result -> unit;
 }
 
@@ -77,6 +79,17 @@ let access t = t.node
 let net t = PNode.net (Node.pastry t.node)
 let now t = Net.now (net t)
 let client_ref t = { Wire.access = PNode.self (Node.pastry t.node); tag = t.tag }
+
+(* Full-jitter exponential backoff: after [failures] consecutive
+   failures of one operation, wait a uniform draw from
+   [0, op_timeout * 2^(failures-1)] (window capped at 2^8) before
+   re-sending. Fixed-interval re-sends synchronize into retry storms
+   exactly when the network is struggling — under churn, every client
+   whose access path broke retries in lockstep; the jitter spreads
+   them out and the growing window sheds load. *)
+let backoff_delay t ~failures =
+  let window = t.op_timeout *. Float.of_int (1 lsl min (failures - 1) 8) in
+  Rng.float t.rng window
 
 (* --- insert ------------------------------------------------------------ *)
 
@@ -144,7 +157,7 @@ and finish_insert_attempt t state ~timed_out =
         with
         | Ok cert' ->
           Counter.incr t.c_insert_retries;
-          start_insert_attempt t
+          let next =
             {
               state with
               cert = cert';
@@ -153,6 +166,10 @@ and finish_insert_attempt t state ~timed_out =
               nacks = 0;
               settled = false;
             }
+          in
+          Net.schedule (net t)
+            ~delay:(backoff_delay t ~failures:state.attempt)
+            (fun () -> start_insert_attempt t next)
         | Error (Smartcard.Quota_exceeded _) ->
           Smartcard.refund_failed_insert t.card cert ~copies_not_stored:state.k;
           state.cb (Insert_failed { attempts = state.attempt; reason = "quota exhausted" })
@@ -195,20 +212,33 @@ let insert t ~name ~data ?declared_size ~k cb =
 (* --- lookup ------------------------------------------------------------ *)
 
 let rec send_lookup t file_id state =
+  let attempt = state.lk_attempt in
   Id.Table.replace t.lookups file_id state;
   Node.route_client_op t.node ~key:(Id.prefix_of_file_id file_id)
     (Wire.Lookup { file_id; client = client_ref t });
   Net.schedule (net t) ~delay:t.op_timeout (fun () ->
       match Id.Table.find_opt t.lookups file_id with
-      | Some s when not s.lk_settled -> lookup_failed_attempt t file_id s
+      | Some s when (not s.lk_settled) && s.lk_attempt = attempt ->
+        lookup_failed_attempt t file_id s
       | _ -> ())
 
 and lookup_failed_attempt t file_id state =
-  if not state.lk_settled then begin
+  (* [lk_retry_pending] keeps a stale timeout timer or a late
+     Lookup_miss from double-consuming retries while a backed-off
+     re-send is already in flight. *)
+  if (not state.lk_settled) && not state.lk_retry_pending then begin
     if state.retries_left > 0 then begin
       state.retries_left <- state.retries_left - 1;
       Counter.incr t.c_lookup_retries;
-      send_lookup t file_id state
+      state.lk_retry_pending <- true;
+      Net.schedule (net t)
+        ~delay:(backoff_delay t ~failures:state.lk_attempt)
+        (fun () ->
+          if not state.lk_settled then begin
+            state.lk_retry_pending <- false;
+            state.lk_attempt <- state.lk_attempt + 1;
+            send_lookup t file_id state
+          end)
     end
     else begin
       state.lk_settled <- true;
@@ -218,7 +248,9 @@ and lookup_failed_attempt t file_id state =
   end
 
 let lookup t ?(retries = 0) ~file_id cb =
-  send_lookup t file_id { lk_settled = false; retries_left = retries; lk_cb = cb }
+  send_lookup t file_id
+    { lk_settled = false; retries_left = retries; lk_attempt = 1; lk_retry_pending = false;
+      lk_cb = cb }
 
 (* --- reclaim ----------------------------------------------------------- *)
 

@@ -28,7 +28,13 @@ val create :
     attempt; [max_insert_attempts] (default 3) caps file diversion
     retries; [verify] (default true) controls client-side receipt and
     content checks — turn it off for simulation workloads that declare
-    sizes without carrying payloads. *)
+    sizes without carrying payloads.
+
+    Failed attempts are re-sent after a full-jitter exponential
+    backoff: retry [k] waits a uniform draw from
+    [[0, op_timeout * 2^(k-1)]] (window capped at [2^8]) rather than
+    re-sending immediately, so clients don't retry in lockstep when
+    churn breaks many operations at once. *)
 
 val card : t -> Smartcard.t
 val access : t -> Node.t
@@ -59,8 +65,9 @@ type lookup_result =
   | Lookup_failed
 
 val lookup : t -> ?retries:int -> file_id:Past_id.Id.t -> (lookup_result -> unit) -> unit
-(** [retries] (default 0) re-sends the request on timeout/miss —
-    combined with randomized routing this routes around bad nodes. *)
+(** [retries] (default 0) re-sends the request on timeout/miss, after
+    an exponential backoff — combined with randomized routing this
+    routes around bad nodes. *)
 
 type reclaim_result = { receipts : Certificate.reclaim_receipt list; credited : int }
 

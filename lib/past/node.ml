@@ -75,6 +75,7 @@ type t = {
   c_divert_ok : Counter.t;
   c_cache_hits : Counter.t;
   c_cache_misses : Counter.t;
+  c_rereplicate : Counter.t;
   h_size : Histogram.t;
 }
 
@@ -394,24 +395,40 @@ let re_replicate t =
         let cert = entry.Store.cert in
         let key = routing_key cert in
         let rs = replica_set t ~k:cert.Certificate.replication key in
-        let am_root =
-          match rs with p :: _ -> p.Peer.addr = addr t | [] -> false
-        in
-        (* Only the current root pushes copies, to avoid replication
-           storms; recipients deduplicate. *)
-        if am_root then
+        let am_replica = List.exists (fun (p : Peer.t) -> p.Peer.addr = addr t) rs in
+        (* Every replica-set member holding a primary copy pushes;
+           recipients deduplicate (Store.mem), so this costs at most
+           k(k-1) messages per event. A root-only push is cheaper but
+           stalls under churn: when the root crashes while the
+           surviving holders are non-roots, nobody pushes and the file
+           stays below k copies until a holder rejoins. The wide push
+           also seeds the new root with a copy, so it can coordinate
+           the next repair. *)
+        if am_replica then
           List.iter
             (fun (p : Peer.t) ->
-              if p.Peer.addr <> addr t then
-                send t p (Wire.Replicate { cert; data = entry.Store.data }))
+              if p.Peer.addr <> addr t then begin
+                Counter.incr t.c_rereplicate;
+                send t p (Wire.Replicate { cert; data = entry.Store.data })
+              end)
             rs)
 
 let schedule_re_replication t =
   if not t.replication_scheduled then begin
     t.replication_scheduled <- true;
-    Net.schedule (net t) ~delay:t.config.replication_delay (fun () ->
-        if Net.alive (net t) (addr t) then re_replicate t else t.replication_scheduled <- false)
+    (* Owner-gated: if this node crashes before the delay elapses the
+       thunk is skipped ([replication_scheduled] stays set and is
+       cleared by [notify_revived] on rejoin). *)
+    Net.schedule (net t) ~owner:(addr t) ~delay:t.config.replication_delay (fun () ->
+        re_replicate t)
   end
+
+let notify_revived t =
+  (* A crash may have swallowed a scheduled re-replication pass (the
+     owner-gated thunk was skipped); clear the latch and run a fresh
+     pass so files this node is root for regain their k copies. *)
+  t.replication_scheduled <- false;
+  schedule_re_replication t
 
 let handle_replicate t (cert : Certificate.file) data =
   if Store.mem t.store cert.Certificate.file_id then ()
@@ -544,6 +561,7 @@ let attach ~pastry ~card ~brokers ~capacity ?(config = default_config) ?free_ora
       c_divert_ok = Registry.counter reg "past.divert.succeeded";
       c_cache_hits = Registry.counter reg "past.cache.hits";
       c_cache_misses = Registry.counter reg "past.cache.misses";
+      c_rereplicate = Registry.counter reg "past.rereplicate.sent";
       h_size = Registry.histogram reg "past.replica.size";
     }
   in

@@ -63,6 +63,13 @@ val register_client : t -> (Wire.t -> unit) -> int
 val route_client_op : t -> key:Past_id.Id.t -> Wire.t -> unit
 (** Inject a client operation into the overlay at this access point. *)
 
+val notify_revived : t -> unit
+(** Clear the re-replication debounce latch and schedule a fresh pass.
+    Needed after a crash/recovery cycle: the owner-gated re-replication
+    timer armed before the crash was skipped while the node was down,
+    which would otherwise leave the latch stuck and suppress all future
+    re-replication on this node. *)
+
 (** Counters for the experiments. *)
 
 val lookups_served_from_store : t -> int

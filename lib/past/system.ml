@@ -100,6 +100,8 @@ let global_utilization t =
   if cap = 0 then 0.0 else float_of_int (total_used t) /. float_of_int cap
 
 let kill_node t node = Overlay.kill t.overlay (Node.pastry node)
-let revive_node t node = Overlay.revive t.overlay (Node.pastry node)
+let revive_node t node =
+  Overlay.revive t.overlay (Node.pastry node);
+  Node.notify_revived node
 let start_maintenance t = Overlay.start_maintenance t.overlay
 let stop_maintenance t = Overlay.stop_maintenance t.overlay

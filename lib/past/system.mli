@@ -78,6 +78,9 @@ val kill_node : t -> Node.t -> unit
     warning"). *)
 
 val revive_node : t -> Node.t -> unit
+(** Bring a killed node back with its previous state: re-runs the
+    Pastry rejoin/repair protocol and re-arms PAST's re-replication
+    (whose timers were suppressed while the node was down). *)
 
 val start_maintenance : t -> unit
 (** Arm keep-alive failure detection on every node (needed before

@@ -31,8 +31,21 @@ type 'a t = {
   mutable app : 'a app option;
   mutable joined : bool;
   mutable maintenance : bool;
+  (* Maintenance timers are owner-gated (a crashed node's tick never
+     fires), so the periodic chain dies with the node; the epoch lets
+     [recover] re-arm exactly one live chain — stale thunks from before
+     the crash see an old epoch and stop. *)
+  mutable maint_epoch : int;
   mutable malicious : bool;
   pending_acks : (Net.addr, float) Hashtbl.t; (* addr -> failure deadline *)
+  (* Failure memory: peers we declared failed, with the declaration
+     time. [learn] refuses to re-admit them until the entry expires or
+     the peer is heard from directly (any message with it as the
+     immediate sender). Without this, leaf repair during a churn storm
+     keeps re-importing dead peers from neighbours' stale leaf sets
+     faster than keep-alive probing can evict them, and the k-closest
+     set stays polluted with dead nodes for many detection cycles. *)
+  suspects : (Net.addr, float) Hashtbl.t;
   (* Dedup scratch reused by [known_peers] (per rare-case hop, per
      announce) instead of allocating a fresh Hashtbl each call. Reset —
      not clear — between uses: reset restores the initial bucket count,
@@ -49,6 +62,10 @@ type 'a t = {
   c_delivered : Counter.t;
   c_ctl : Counter.t;
   c_repairs : Counter.t;
+  (* Lazy so failure-free runs keep their pre-fault-engine telemetry
+     schema (the EXP1 golden compares registry snapshots byte-for-byte);
+     the row appears once the first repair happens. *)
+  c_rt_repairs : Counter.t Lazy.t;
 }
 
 let self t = t.self
@@ -82,8 +99,29 @@ let tell t dst msg =
 
 let fire_leaf_change t = match t.app with Some a -> a.on_leaf_change () | None -> ()
 
+(* A suspect entry only needs to outlive the stale-gossip recycle: any
+   neighbour still advertising the dead peer evicts it within its own
+   probe cycle (keep-alive period + failure timeout). Two cycles give
+   slack for desynchronised timers. *)
+let suspect_ttl t =
+  2.0 *. (t.config.Config.keepalive_period +. t.config.Config.failure_timeout)
+
+let suspected t addr =
+  match Hashtbl.find_opt t.suspects addr with
+  | None -> false
+  | Some since ->
+    if Net.now t.net -. since < suspect_ttl t then true
+    else begin
+      Hashtbl.remove t.suspects addr;
+      false
+    end
+
 let learn t (peer : Peer.t) =
-  if peer.Peer.addr <> t.self.Peer.addr && not (Id.equal peer.Peer.id t.self.Peer.id) then begin
+  if
+    peer.Peer.addr <> t.self.Peer.addr
+    && (not (Id.equal peer.Peer.id t.self.Peer.id))
+    && not (suspected t peer.Peer.addr)
+  then begin
     let leaf_changed = Leaf_set.add t.leaf peer in
     let prox = proximity_to t peer.Peer.addr in
     ignore (Routing_table.consider_prox t.rt ~prox peer);
@@ -106,10 +144,15 @@ let declare_failed t failed_addr =
   Log.debug (fun m ->
       m "%s declares node@%d failed" (Id.short t.self.Peer.id) failed_addr);
   Hashtbl.remove t.pending_acks failed_addr;
+  Hashtbl.replace t.suspects failed_addr (Net.now t.net);
   let was_smaller = List.exists (fun p -> p.Peer.addr = failed_addr) (Leaf_set.smaller t.leaf) in
   let was_larger = List.exists (fun p -> p.Peer.addr = failed_addr) (Leaf_set.larger t.leaf) in
   let leaf_changed = Leaf_set.remove_addr t.leaf failed_addr in
-  ignore (Routing_table.remove_addr t.rt failed_addr);
+  if Routing_table.remove_addr t.rt failed_addr then
+    (* Routing-table repair accounting: the vacated cell is refilled
+       lazily by [learn] from passing traffic (§2.2); each removal is
+       one repair episode. *)
+    Counter.incr (Lazy.force t.c_rt_repairs);
   ignore (Neighborhood.remove_addr t.nbhd failed_addr);
   if leaf_changed then begin
     (* Repair: ask the live extreme node on the failed side for its
@@ -314,7 +357,11 @@ let handle_routed t (r : 'a Message.routed) =
 let announce t =
   List.iter (fun p -> tell t p.Peer.addr (Message.Announce { from = t.self })) (known_peers t)
 
-let handle t _src msg =
+let handle t src msg =
+  (* Hearing from a node directly is proof of life: drop any suspicion
+     so [learn] can re-admit it (e.g. a crashed peer that rejoined and
+     resumed keep-alives). *)
+  Hashtbl.remove t.suspects src;
   match msg with
   | Message.Routed r ->
     (* A joiner in flight must not enter anyone's tables yet: learning
@@ -389,8 +436,10 @@ let create ~net ~config ~rng ~id () =
       app = None;
       joined = true (* a lone node is a complete overlay of size one *);
       maintenance = false;
+      maint_epoch = 0;
       malicious = false;
       pending_acks = Hashtbl.create 16;
+      suspects = Hashtbl.create 16;
       peers_scratch = Hashtbl.create 64;
       fwd_count = 0;
       ctl_count = 0;
@@ -401,6 +450,7 @@ let create ~net ~config ~rng ~id () =
       c_delivered = Registry.counter reg "pastry.route.delivered";
       c_ctl = Registry.counter reg "pastry.control_sent";
       c_repairs = Registry.counter reg "pastry.leaf_repairs";
+      c_rt_repairs = lazy (Registry.counter reg "pastry.rt_repairs");
     }
   in
   node_ref := Some t;
@@ -467,28 +517,31 @@ let check_failures t =
   List.iter (declare_failed t) expired
 
 let maintenance_tick t =
-  if Net.alive t.net t.self.Peer.addr then begin
-    check_failures t;
-    List.iter
-      (fun (m : Peer.t) ->
-        if not (Hashtbl.mem t.pending_acks m.Peer.addr) then
-          Hashtbl.replace t.pending_acks m.Peer.addr
-            (Net.now t.net +. t.config.Config.failure_timeout);
-        tell t m.Peer.addr (Message.Keepalive { from = t.self }))
-      (Leaf_set.members t.leaf)
-  end
+  (* No liveness guard needed: the timer thunk is owner-gated, so a
+     down node's tick is never dispatched in the first place. *)
+  check_failures t;
+  List.iter
+    (fun (m : Peer.t) ->
+      if not (Hashtbl.mem t.pending_acks m.Peer.addr) then
+        Hashtbl.replace t.pending_acks m.Peer.addr
+          (Net.now t.net +. t.config.Config.failure_timeout);
+      tell t m.Peer.addr (Message.Keepalive { from = t.self }))
+    (Leaf_set.members t.leaf)
+
+let rec arm_maintenance t ~epoch ~delay =
+  Net.schedule t.net ~owner:t.self.Peer.addr ~delay (fun () ->
+      if t.maintenance && epoch = t.maint_epoch then begin
+        maintenance_tick t;
+        arm_maintenance t ~epoch ~delay:t.config.Config.keepalive_period
+      end)
 
 let start_maintenance t =
   if not t.maintenance then begin
     t.maintenance <- true;
-    let rec tick () =
-      if t.maintenance then begin
-        maintenance_tick t;
-        Net.schedule t.net ~delay:t.config.Config.keepalive_period tick
-      end
-    in
+    t.maint_epoch <- t.maint_epoch + 1;
     (* Desynchronise nodes' timers. *)
-    Net.schedule t.net ~delay:(Rng.float t.rng t.config.Config.keepalive_period) tick
+    arm_maintenance t ~epoch:t.maint_epoch
+      ~delay:(Rng.float t.rng t.config.Config.keepalive_period)
   end
 
 let stop_maintenance t = t.maintenance <- false
@@ -497,7 +550,19 @@ let recover t =
   (* A recovering node contacts its last known leaf set, refreshes its
      own leaf set from theirs, and announces its presence (§2.2). *)
   Hashtbl.reset t.pending_acks;
+  (* Suspicions recorded before the crash are stale — the suspects may
+     well have rejoined during our downtime. Keep-alives re-evict any
+     that are still dead. *)
+  Hashtbl.reset t.suspects;
   List.iter
     (fun (m : Peer.t) -> tell t m.Peer.addr (Message.Leaf_request { from = t.self }))
     (Leaf_set.members t.leaf);
-  announce t
+  announce t;
+  if t.maintenance then begin
+    (* The owner-gated timer chain died while the node was down (a
+       skipped tick never reschedules); re-arm a fresh chain and
+       invalidate any pre-crash thunk still in the queue. *)
+    t.maint_epoch <- t.maint_epoch + 1;
+    arm_maintenance t ~epoch:t.maint_epoch
+      ~delay:(Rng.float t.rng t.config.Config.keepalive_period)
+  end

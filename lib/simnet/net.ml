@@ -25,13 +25,27 @@ type 'msg node = {
   location : Topology.location;
   handler : addr -> 'msg -> unit;
   mutable up : bool;
+  mutable group : int;  (** partition group; delivery requires src.group = dst.group *)
 }
+
+(* Per-link fault overrides, keyed by (src, dst) — directional, so
+   asymmetric links are expressible. *)
+type link = { lk_loss : float option; lk_delay_factor : float; lk_extra_delay : float }
 
 type 'msg t = {
   rng : Rng.t;
+  (* All fault-injection coins (loss, duplication, reordering) come
+     from a separate stream derived — without consuming — from [rng],
+     so toggling any fault knob leaves the main stream's draw sequence
+     untouched: a lossy run and its lossless baseline stay comparable
+     event-for-event. *)
+  fault_rng : Rng.t;
   topology : Topology.t;
-  loss_rate : float;
+  mutable loss_rate : float;
   latency_factor : float;
+  mutable duplication_rate : float;
+  mutable reorder_rate : float;
+  mutable reorder_max_delay : float;
   mutable clock : float;
   mutable seq : int;
   events : 'msg event Heap.t;
@@ -41,35 +55,54 @@ type 'msg t = {
   mutable nodes : 'msg node option array;
   mutable next_addr : addr;
   mutable liveness_epoch : int;
+  links : (addr * addr, link) Hashtbl.t;
+  mutable partitioned : bool;  (** any node in a group <> 0 *)
   registry : Registry.t;
   describe : 'msg -> string;
   c_sent : Counter.t;
   c_delivered : Counter.t;
   c_dropped : Counter.t;
+  (* Fault-specific counters are lazy: they only appear in the registry
+     once the corresponding fault actually occurs, so fault-free runs
+     export exactly the same telemetry schema as before the
+     fault-injection engine existed (the EXP1 golden fixture compares
+     registry snapshots byte-for-byte). *)
+  c_src_down : Counter.t Lazy.t;
+  c_partition : Counter.t Lazy.t;
+  c_duplicated : Counter.t Lazy.t;
   latency : Histogram.t;
   by_kind : (string, kind_counters) Hashtbl.t;
 }
 
 let create ?(loss_rate = 0.0) ?(latency_factor = 1.0) ?registry ?(describe = fun _ -> "msg")
     ~rng ~topology () =
-  if loss_rate < 0.0 || loss_rate >= 1.0 then invalid_arg "Net.create: loss_rate must be in [0,1)";
+  if loss_rate < 0.0 || loss_rate > 1.0 then invalid_arg "Net.create: loss_rate must be in [0,1]";
   let registry = match registry with Some r -> r | None -> Registry.create ~name:"net" () in
   {
     rng;
+    fault_rng = Rng.derive rng ~salt:0x6661756c74 (* "fault" *);
     topology;
     loss_rate;
     latency_factor;
+    duplication_rate = 0.0;
+    reorder_rate = 0.0;
+    reorder_max_delay = 0.0;
     clock = 0.0;
     seq = 0;
     events = Heap.create ~leq:(fun a b -> a.time < b.time || (a.time = b.time && a.seq <= b.seq));
     nodes = Array.make 1024 None;
     next_addr = 0;
     liveness_epoch = 0;
+    links = Hashtbl.create 16;
+    partitioned = false;
     registry;
     describe;
     c_sent = Registry.counter registry "net.sent";
     c_delivered = Registry.counter registry "net.delivered";
     c_dropped = Registry.counter registry "net.dropped";
+    c_src_down = lazy (Registry.counter registry ~labels:[ ("cause", "src_down") ] "net.dropped");
+    c_partition = lazy (Registry.counter registry ~labels:[ ("cause", "partition") ] "net.dropped");
+    c_duplicated = lazy (Registry.counter registry "net.duplicated");
     latency = Registry.histogram registry "net.link_latency";
     by_kind = Hashtbl.create 16;
   }
@@ -104,7 +137,7 @@ let register t ~handler =
     t.nodes <- grown
   end;
   t.nodes.(addr) <-
-    Some { location = Topology.sample t.topology t.rng; handler; up = true };
+    Some { location = Topology.sample t.topology t.rng; handler; up = true; group = 0 };
   addr
 
 let now t = t.clock
@@ -128,23 +161,118 @@ let drop t kinds =
   Counter.incr t.c_dropped;
   Counter.incr kinds.k_dropped
 
+(* --- fault knobs ------------------------------------------------------- *)
+
+let set_loss_rate t rate =
+  if rate < 0.0 || rate > 1.0 then invalid_arg "Net.set_loss_rate: rate must be in [0,1]";
+  t.loss_rate <- rate
+
+let loss_rate t = t.loss_rate
+
+let set_duplication_rate t rate =
+  if rate < 0.0 || rate > 1.0 then
+    invalid_arg "Net.set_duplication_rate: rate must be in [0,1]";
+  t.duplication_rate <- rate
+
+let set_reorder t ~rate ~max_extra_delay =
+  if rate < 0.0 || rate > 1.0 then invalid_arg "Net.set_reorder: rate must be in [0,1]";
+  if max_extra_delay < 0.0 then invalid_arg "Net.set_reorder: negative max_extra_delay";
+  t.reorder_rate <- rate;
+  t.reorder_max_delay <- max_extra_delay
+
+let set_link t ~src ~dst ?loss ?(delay_factor = 1.0) ?(extra_delay = 0.0) () =
+  (match loss with
+  | Some l when l < 0.0 || l > 1.0 -> invalid_arg "Net.set_link: loss must be in [0,1]"
+  | _ -> ());
+  if delay_factor < 0.0 || extra_delay < 0.0 then
+    invalid_arg "Net.set_link: negative delay";
+  ignore (node t src);
+  ignore (node t dst);
+  Hashtbl.replace t.links (src, dst)
+    { lk_loss = loss; lk_delay_factor = delay_factor; lk_extra_delay = extra_delay }
+
+let clear_link t ~src ~dst = Hashtbl.remove t.links (src, dst)
+let clear_links t = Hashtbl.reset t.links
+
+let partition t groups =
+  (* Every listed node goes into the group of its list; unlisted nodes
+     stay in group 0 (their own side of the cut). *)
+  for a = 0 to t.next_addr - 1 do
+    match Array.unsafe_get t.nodes a with Some n -> n.group <- 0 | None -> ()
+  done;
+  List.iteri
+    (fun i members -> List.iter (fun a -> (node t a).group <- i + 1) members)
+    groups;
+  t.partitioned <- groups <> []
+
+let heal_partition t =
+  if t.partitioned then begin
+    for a = 0 to t.next_addr - 1 do
+      match Array.unsafe_get t.nodes a with Some n -> n.group <- 0 | None -> ()
+    done;
+    t.partitioned <- false
+  end
+
+let[@inline] same_side t src dst =
+  (not t.partitioned) || (node t src).group = (node t dst).group
+
+let reachable t ~src ~dst = same_side t src dst
+
+(* --- send -------------------------------------------------------------- *)
+
 let send t ~src ~dst msg =
   let kinds = kind_counters t (t.describe msg) in
   Counter.incr t.c_sent;
   Counter.incr kinds.k_sent;
-  if t.loss_rate > 0.0 && Rng.chance t.rng t.loss_rate then drop t kinds
+  (* The jitter draw comes first and happens for every send — even ones
+     that are then lost, partitioned away or suppressed — so the main
+     RNG stream advances identically no matter which fault knobs are
+     on: loss-vs-baseline runs see the same downstream draw sequence. *)
+  let jitter = Rng.float t.rng 0.01 in
+  if not (node t src).up then begin
+    (* A node taken down mid-event-cascade must not emit: silent
+       departure means no goodbye traffic (see Past.System.kill_node). *)
+    Counter.incr (Lazy.force t.c_src_down);
+    drop t kinds
+  end
+  else if not (same_side t src dst) then begin
+    Counter.incr (Lazy.force t.c_partition);
+    drop t kinds
+  end
   else begin
-    let latency = t.latency_factor *. proximity t src dst in
-    (* A small jitter keeps event ordering from being an artifact of
-       identical distances. *)
-    let jitter = Rng.float t.rng 0.01 in
-    Histogram.observe t.latency (latency +. jitter);
-    push t (t.clock +. latency +. jitter) (Deliver { src; dst; msg; kinds })
+    let link = Hashtbl.find_opt t.links (src, dst) in
+    let loss =
+      match link with Some { lk_loss = Some l; _ } -> l | _ -> t.loss_rate
+    in
+    if loss > 0.0 && Rng.chance t.fault_rng loss then drop t kinds
+    else begin
+      let base = t.latency_factor *. proximity t src dst in
+      let latency =
+        match link with
+        | Some { lk_delay_factor; lk_extra_delay; _ } ->
+          (lk_delay_factor *. base) +. lk_extra_delay
+        | None -> base
+      in
+      let latency =
+        if t.reorder_rate > 0.0 && Rng.chance t.fault_rng t.reorder_rate then
+          latency +. Rng.float t.fault_rng t.reorder_max_delay
+        else latency
+      in
+      Histogram.observe t.latency (latency +. jitter);
+      push t (t.clock +. latency +. jitter) (Deliver { src; dst; msg; kinds });
+      if t.duplication_rate > 0.0 && Rng.chance t.fault_rng t.duplication_rate then begin
+        Counter.incr (Lazy.force t.c_duplicated);
+        let dup_jitter = Rng.float t.fault_rng 0.01 in
+        push t
+          (t.clock +. latency +. jitter +. dup_jitter)
+          (Deliver { src; dst; msg; kinds })
+      end
+    end
   end
 
-let schedule t ~delay run =
+let schedule ?owner t ~delay run =
   if delay < 0.0 then invalid_arg "Net.schedule: negative delay";
-  push t (t.clock +. delay) (Thunk { owner = None; run })
+  push t (t.clock +. delay) (Thunk { owner; run })
 
 let set_alive t addr up =
   t.liveness_epoch <- t.liveness_epoch + 1;
@@ -157,7 +285,7 @@ let node_count t = t.next_addr
 let dispatch t = function
   | Deliver { src; dst; msg; kinds } -> (
     match node_opt t dst with
-    | Some n when n.up ->
+    | Some n when n.up && same_side t src dst ->
       Counter.incr t.c_delivered;
       Counter.incr kinds.k_delivered;
       n.handler src msg
@@ -195,11 +323,20 @@ let rng t = t.rng
 let messages_sent t = Counter.value t.c_sent
 let messages_delivered t = Counter.value t.c_delivered
 let messages_dropped t = Counter.value t.c_dropped
+let lazy_value c = if Lazy.is_val c then Counter.value (Lazy.force c) else 0
+let messages_dropped_src_down t = lazy_value t.c_src_down
+let messages_dropped_partition t = lazy_value t.c_partition
+let messages_duplicated t = lazy_value t.c_duplicated
+
+let lazy_reset c = if Lazy.is_val c then Counter.reset (Lazy.force c)
 
 let reset_counters t =
   Counter.reset t.c_sent;
   Counter.reset t.c_delivered;
   Counter.reset t.c_dropped;
+  lazy_reset t.c_src_down;
+  lazy_reset t.c_partition;
+  lazy_reset t.c_duplicated;
   Histogram.reset t.latency;
   Hashtbl.iter
     (fun _ k ->

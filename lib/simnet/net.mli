@@ -21,11 +21,20 @@ val create :
   topology:Topology.t ->
   unit ->
   'msg t
-(** [loss_rate] (default 0) drops each message independently;
+(** [loss_rate] (default 0, accepted on the closed interval [[0,1]] —
+    1.0 is a blackout) drops each message independently;
     [latency_factor] (default 1.0) converts proximity to delivery
     delay. [registry] (default: a fresh one) receives the network's
     telemetry; [describe] names a message's kind for the per-kind
-    send/deliver/drop counters (default: every message is ["msg"]). *)
+    send/deliver/drop counters (default: every message is ["msg"]).
+
+    Fault-injection determinism: all fault coins (loss, duplication,
+    reordering) are drawn from a dedicated stream derived from [rng]
+    without advancing it, and the per-message latency jitter is drawn
+    from the main stream {e before} any drop decision. Two runs that
+    differ only in fault knobs therefore consume the main RNG stream
+    identically: every message delivered in both runs is delivered at
+    the same time. *)
 
 val registry : _ t -> Past_telemetry.Registry.t
 (** The telemetry registry this network reports into. One registry per
@@ -38,10 +47,63 @@ val register : 'msg t -> handler:(addr -> 'msg -> unit) -> addr
 val now : _ t -> float
 
 val send : 'msg t -> src:addr -> dst:addr -> 'msg -> unit
-(** Queue a message. Silently dropped if [dst] is down or lost. *)
+(** Queue a message. Silently dropped (and counted) if [src] is down —
+    a node taken down mid-event-cascade emits nothing — if [dst] is
+    down at delivery time, if the endpoints are on different sides of a
+    {!partition}, or if the (per-link or global) loss coin fires. *)
 
-val schedule : _ t -> delay:float -> (unit -> unit) -> unit
-(** Run a thunk at [now + delay]. *)
+val schedule : ?owner:addr -> _ t -> delay:float -> (unit -> unit) -> unit
+(** Run a thunk at [now + delay]. When [owner] is given, the thunk is
+    skipped if that node is down at fire time: a crashed node's timers
+    never run. Thunks without an owner (environment/driver timers)
+    always run. *)
+
+(** {2 Fault injection}
+
+    Runtime knobs used by {!Churn} plans. All random decisions they
+    introduce draw from the network's dedicated fault stream, so
+    toggling them never perturbs the main RNG stream (see {!create}). *)
+
+val set_loss_rate : _ t -> float -> unit
+(** Replace the global loss rate, in [[0,1]]. *)
+
+val loss_rate : _ t -> float
+
+val set_link :
+  _ t ->
+  src:addr ->
+  dst:addr ->
+  ?loss:float ->
+  ?delay_factor:float ->
+  ?extra_delay:float ->
+  unit ->
+  unit
+(** Override one directional link: [loss] (default: inherit the global
+    rate) replaces the loss coin; delivery delay becomes
+    [delay_factor * proximity * latency_factor + extra_delay]. Set the
+    two directions separately for asymmetric links. *)
+
+val clear_link : _ t -> src:addr -> dst:addr -> unit
+val clear_links : _ t -> unit
+
+val partition : _ t -> addr list list -> unit
+(** Split the network: each listed group becomes one side, every
+    unlisted node forms the remaining side, and messages crossing sides
+    are dropped (at send time, and for in-flight messages at delivery
+    time). [partition t []] is equivalent to {!heal_partition}. *)
+
+val heal_partition : _ t -> unit
+
+val reachable : _ t -> src:addr -> dst:addr -> bool
+(** [false] iff a partition currently separates the two nodes. *)
+
+val set_duplication_rate : _ t -> float -> unit
+(** Deliver each non-dropped message a second time with that
+    probability (slightly later — models retransmit/duplication). *)
+
+val set_reorder : _ t -> rate:float -> max_extra_delay:float -> unit
+(** With probability [rate], delay a message by an extra uniform
+    [[0, max_extra_delay]] — enough to overtake later sends. *)
 
 val run : ?until:float -> ?max_events:int -> _ t -> unit
 (** Process queued events in time order until the queue drains, time
@@ -74,6 +136,15 @@ val rng : _ t -> Past_stdext.Rng.t
 val messages_sent : _ t -> int
 val messages_delivered : _ t -> int
 val messages_dropped : _ t -> int
+
+val messages_dropped_src_down : _ t -> int
+(** Subset of [messages_dropped]: sends suppressed because the source
+    itself was down. *)
+
+val messages_dropped_partition : _ t -> int
+(** Subset of [messages_dropped]: messages cut by a partition. *)
+
+val messages_duplicated : _ t -> int
 
 val counters_for_kind : _ t -> string -> int * int * int
 (** [(sent, delivered, dropped)] for one [describe] kind — how the

@@ -38,6 +38,18 @@ let split t =
   let seed = Int64.to_int (bits64 t) in
   create seed
 
+let derive t ~salt =
+  (* Mix all four state words so children with different salts are
+     decorrelated from each other and from the parent's stream; the
+     parent state is read, never advanced. *)
+  let open Int64 in
+  let mixed =
+    logxor
+      (logxor t.s0 (rotl t.s1 17))
+      (logxor (rotl t.s2 31) (rotl t.s3 47))
+  in
+  create (to_int (logxor mixed (mul (of_int salt) 0x9E3779B97F4A7C15L)))
+
 (* Rejection sampling keeps the result exactly uniform for any bound. *)
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";

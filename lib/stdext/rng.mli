@@ -19,6 +19,14 @@ val copy : t -> t
 (** [copy t] duplicates the current state; both generators then produce
     the same future stream. *)
 
+val derive : t -> salt:int -> t
+(** [derive t ~salt] returns a generator deterministically derived from
+    [t]'s {e current} state and [salt] {e without advancing} [t].
+    Unlike {!split}, the parent's stream is unaffected — use it to give
+    a subsystem (e.g. fault injection) its own stream while keeping the
+    parent's draw sequence byte-identical to a run without that
+    subsystem. *)
+
 val bits64 : t -> int64
 (** Next raw 64 random bits. *)
 

@@ -1,0 +1,203 @@
+(* The declarative churn engine (Past_simnet.Churn) and its wiring
+   into the overlay/storage layers. *)
+
+module Topology = Past_simnet.Topology
+module Net = Past_simnet.Net
+module Churn = Past_simnet.Churn
+module Rng = Past_stdext.Rng
+module Overlay = Past_pastry.Overlay
+module PNode = Past_pastry.Node
+module Config = Past_pastry.Config
+module Exp_churn = Past_experiments.Exp_churn
+module Harness = Past_experiments.Harness
+
+let check = Alcotest.check
+let ( => ) name f = Alcotest.test_case name `Quick f
+
+let make_net () = Net.create ~rng:(Rng.create 11) ~topology:(Topology.plane ()) ()
+
+let plan_applies_in_time_order () =
+  let net = make_net () in
+  let a = Net.register net ~handler:(fun _ _ -> ()) in
+  let crashed_at = ref nan and recovered_at = ref nan in
+  let hooks =
+    {
+      Churn.on_crash = (fun _ -> crashed_at := Net.now net);
+      on_recover = (fun _ -> recovered_at := Net.now net);
+    }
+  in
+  (* Out-of-order input: [plan] sorts it. *)
+  let plan = Churn.plan [ (20.0, Churn.Recover a); (10.0, Churn.Crash a) ] in
+  Churn.apply ~hooks net plan;
+  Net.run ~until:15.0 net;
+  check Alcotest.bool "down mid-plan" false (Net.alive net a);
+  Net.run net;
+  check Alcotest.bool "back up after plan" true (Net.alive net a);
+  check (Alcotest.float 1e-9) "crash fired at 10" 10.0 !crashed_at;
+  check (Alcotest.float 1e-9) "recover fired at 20" 20.0 !recovered_at;
+  check Alcotest.int "crashes counted" 1 (Churn.crashes net);
+  check Alcotest.int "recoveries counted" 1 (Churn.recoveries net)
+
+let plan_rejects_negative_times () =
+  let a = 0 in
+  Alcotest.check_raises "negative time"
+    (Invalid_argument "Churn.plan: negative time") (fun () ->
+      ignore (Churn.plan [ (-1.0, Churn.Crash a) ]))
+
+let crash_and_recover_are_idempotent () =
+  let net = make_net () in
+  let a = Net.register net ~handler:(fun _ _ -> ()) in
+  let plan =
+    Churn.plan
+      [ (1.0, Churn.Crash a); (2.0, Churn.Crash a); (3.0, Churn.Recover a); (4.0, Churn.Recover a) ]
+  in
+  Churn.apply net plan;
+  Net.run net;
+  check Alcotest.int "one crash" 1 (Churn.crashes net);
+  check Alcotest.int "one recovery" 1 (Churn.recoveries net);
+  check Alcotest.bool "alive" true (Net.alive net a)
+
+let plan_drives_faults () =
+  let net = make_net () in
+  let got = ref 0 in
+  let a = Net.register net ~handler:(fun _ _ -> incr got) in
+  let b = Net.register net ~handler:(fun _ _ -> ()) in
+  let execed = ref false in
+  let plan =
+    Churn.plan
+      [
+        (1.0, Churn.Partition [ [ a ] ]);
+        (2.0, Churn.Heal);
+        (3.0, Churn.Set_loss 1.0);
+        (4.0, Churn.Set_loss 0.0);
+        (5.0, Churn.Exec (fun () -> execed := true));
+      ]
+  in
+  Churn.apply net plan;
+  Net.run ~until:1.5 net;
+  Net.send net ~src:b ~dst:a "cut";
+  Net.run ~until:2.5 net;
+  check Alcotest.int "cut by partition" 0 !got;
+  Net.run ~until:3.5 net;
+  Net.send net ~src:b ~dst:a "lost";
+  Net.run ~until:4.5 net;
+  check Alcotest.int "lost to blackout" 0 !got;
+  Net.run net;
+  check Alcotest.bool "exec escape hatch ran" true !execed;
+  Net.send net ~src:b ~dst:a "through";
+  Net.run net;
+  check Alcotest.int "delivers once faults clear" 1 !got
+
+(* The generator's plan must be self-consistent: never crash a down
+   node, never recover an up one, never dip below min_live, and leave
+   everyone up at the end. *)
+let sustained_plan_is_consistent () =
+  let n = 12 and min_live = 5 in
+  let addrs = Array.init n (fun i -> i) in
+  let plan =
+    Churn.sustained ~rng:(Rng.create 3) ~addrs ~rate:0.05 ~mean_downtime:30.0 ~horizon:2_000.0
+      ~min_live ()
+  in
+  check Alcotest.bool "plan has events" true (plan <> []);
+  let down = Hashtbl.create 8 in
+  let last = ref 0.0 in
+  List.iter
+    (fun { Churn.at; action } ->
+      check Alcotest.bool "sorted" true (at >= !last);
+      last := at;
+      match action with
+      | Churn.Crash a ->
+        check Alcotest.bool "crash hits a live node" false (Hashtbl.mem down a);
+        Hashtbl.add down a ();
+        check Alcotest.bool "respects min_live" true (n - Hashtbl.length down >= min_live)
+      | Churn.Recover a ->
+        check Alcotest.bool "recover hits a down node" true (Hashtbl.mem down a);
+        Hashtbl.remove down a
+      | _ -> Alcotest.fail "sustained plans only crash and recover")
+    plan;
+  check Alcotest.int "everyone recovers eventually" 0 (Hashtbl.length down)
+
+(* Owner-gated maintenance: a revived node's keep-alive chain must
+   re-arm. With two nodes, only B can burn keep-alives on a dead A — if
+   B's timers died during its own downtime, the drop counter stays
+   flat. *)
+let revived_node_resumes_maintenance () =
+  let config = Config.default in
+  let overlay : Harness.probe Overlay.t = Overlay.create ~config ~seed:42 () in
+  Overlay.build_dynamic overlay ~n:2;
+  Overlay.install_apps overlay (fun _ -> Harness.null_app);
+  let net = Overlay.net overlay in
+  let nodes = Overlay.nodes overlay in
+  let a = nodes.(0) and b = nodes.(1) in
+  let window = (2.0 *. config.Config.failure_timeout) +. (2.0 *. config.Config.keepalive_period) in
+  Overlay.start_maintenance overlay;
+  Overlay.run ~until:(Net.now net +. window) overlay;
+  (* Take B down through a detection cycle, then bring it back. *)
+  Overlay.kill overlay b;
+  Overlay.run ~until:(Net.now net +. window) overlay;
+  Overlay.revive overlay b;
+  Overlay.run ~until:(Net.now net +. window) overlay;
+  (* Now kill A: only B remains to send keep-alives at the dead A. *)
+  Overlay.kill overlay a;
+  let dropped () = match Net.counters_for_kind net "keepalive" with _, _, d -> d in
+  let before = dropped () in
+  Overlay.run ~until:(Net.now net +. window) overlay;
+  check Alcotest.bool "revived node's keep-alive timers re-armed" true (dropped () > before);
+  Overlay.stop_maintenance overlay;
+  Overlay.run overlay
+
+(* A crashed node's tick never runs: while B is down, no keep-alives
+   from it reach (or get dropped at) anyone. *)
+let crashed_node_sends_nothing () =
+  let config = Config.default in
+  let overlay : Harness.probe Overlay.t = Overlay.create ~config ~seed:43 () in
+  Overlay.build_dynamic overlay ~n:2;
+  Overlay.install_apps overlay (fun _ -> Harness.null_app);
+  let net = Overlay.net overlay in
+  let nodes = Overlay.nodes overlay in
+  let window = (2.0 *. config.Config.failure_timeout) +. (2.0 *. config.Config.keepalive_period) in
+  Overlay.start_maintenance overlay;
+  Overlay.run ~until:(Net.now net +. window) overlay;
+  Overlay.kill overlay nodes.(0);
+  Overlay.kill overlay nodes.(1);
+  (* Both down: any keep-alive sent now would be counted (as a drop). *)
+  let sent () = match Net.counters_for_kind net "keepalive" with s, _, _ -> s in
+  let before = sent () in
+  Overlay.run ~until:(Net.now net +. (3.0 *. window)) overlay;
+  check Alcotest.int "no keep-alives from crashed nodes" before (sent ());
+  Overlay.stop_maintenance overlay
+
+(* End-to-end smoke: a short sustained-churn run must lose nothing and
+   return to full strength. *)
+let exp_churn_smoke () =
+  let p =
+    {
+      Exp_churn.default_params with
+      Exp_churn.n = 20;
+      files = 8;
+      duration = 20_000.0;
+      rate = 0.002;
+      mean_downtime = 3_000.0;
+      probe_period = 1_000.0;
+      scan_period = 500.0;
+      seed = 5;
+    }
+  in
+  let r = Exp_churn.run p in
+  check Alcotest.bool "churn actually happened" true (r.Exp_churn.crashes > 0);
+  check Alcotest.int "every crash recovered" r.Exp_churn.crashes r.Exp_churn.recoveries;
+  check Alcotest.int "no live file lost" 0 r.Exp_churn.lost_files;
+  check Alcotest.int "network back to full strength" 20 r.Exp_churn.final_live_nodes
+
+let suite =
+  ( "churn",
+    [
+      "plan applies in time order" => plan_applies_in_time_order;
+      "plan rejects negative times" => plan_rejects_negative_times;
+      "crash/recover idempotent" => crash_and_recover_are_idempotent;
+      "plan drives partitions, loss, exec" => plan_drives_faults;
+      "sustained plan is consistent" => sustained_plan_is_consistent;
+      "revived node resumes maintenance" => revived_node_resumes_maintenance;
+      "crashed node sends nothing" => crashed_node_sends_nothing;
+      "exp_churn smoke" => exp_churn_smoke;
+    ] )

@@ -301,6 +301,48 @@ let lookup_retries_route_around_droppers () =
   done;
   check Alcotest.bool (Printf.sprintf "%d/10 with retries" !ok) true (!ok >= 8)
 
+(* qcheck: the smartcard debit/refund protocol never leaks quota across
+   multi-attempt inserts. Small op timeouts force attempts to settle
+   before some or all receipts arrive: the attempt is retried under a
+   fresh fileId (file diversion) while late receipts for the old one
+   trickle in, and partially stored attempts are cleaned up with
+   non-credited reclaims. Whatever the interleaving, a failed insert
+   must leave [used] exactly where it started and a successful one must
+   debit exactly size * k. The [starved] case sizes the quota so a
+   second insert can fail upfront at certificate issue. *)
+let qcheck_insert_quota_never_leaks =
+  QCheck.Test.make ~name:"insert debit/refund never leaks quota" ~count:30
+    (QCheck.quad (QCheck.int_range 1 2_000) (QCheck.int_range 1 4)
+       (QCheck.oneofl [ 1.0; 10.0; 100.0; 400.0; 1_500.0; 20_000.0 ])
+       QCheck.bool)
+    (fun (size, k, op_timeout, starved) ->
+      let sys =
+        System.create ~seed:(size + (7 * k)) ~n:12 ~node_capacity:(fun _ _ -> 1_000_000) ()
+      in
+      let budget = (2 * size * k) - if starved then 1 else 0 in
+      let client = System.new_client sys ~op_timeout ~quota:budget () in
+      let card = Client.card client in
+      let data = String.make size 'q' in
+      let insert () = Client.insert_sync client ~name:"prop" ~data ~k () in
+      let r1 = insert () in
+      (* Let stragglers land: late receipts for timed-out attempts and
+         acks for their cleanup reclaims. *)
+      System.run sys;
+      let expect1 =
+        match r1 with Client.Inserted _ -> size * k | Client.Insert_failed _ -> 0
+      in
+      let ok1 = Smartcard.used card = expect1 in
+      (* A second insert starts from a non-zero baseline (and, when
+         starved after a success, fails upfront at issue). *)
+      let r2 = insert () in
+      System.run sys;
+      let expect2 =
+        match r2 with Client.Inserted _ -> size * k | Client.Insert_failed _ -> 0
+      in
+      ok1
+      && Smartcard.used card = expect1 + expect2
+      && Smartcard.used card <= Smartcard.quota card)
+
 let suite =
   ( "past-system",
     [
@@ -319,4 +361,5 @@ let suite =
       "dynamic build" => dynamic_build_system;
       "insecure crypto mode" => insecure_crypto_mode_works;
       "lookup retries route around droppers" => lookup_retries_route_around_droppers;
+      QCheck_alcotest.to_alcotest qcheck_insert_quota_never_leaks;
     ] )

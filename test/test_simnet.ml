@@ -192,6 +192,205 @@ let node_count_tracks () =
   ignore (Net.register net ~handler:(fun _ _ -> ()));
   check Alcotest.int "two nodes" 2 (Net.node_count net)
 
+(* --- fault injection --- *)
+
+let owner_gated_thunks () =
+  let net = make_net () in
+  let a = Net.register net ~handler:(fun _ _ -> ()) in
+  let owned = ref 0 and ownerless = ref 0 in
+  Net.schedule net ~owner:a ~delay:1.0 (fun () -> incr owned);
+  Net.schedule net ~delay:1.0 (fun () -> incr ownerless);
+  Net.set_alive net a false;
+  Net.run net;
+  (* A crashed node's timer must never run; environment timers always do. *)
+  check Alcotest.int "crashed owner's thunk skipped" 0 !owned;
+  check Alcotest.int "ownerless thunk fired" 1 !ownerless;
+  Net.set_alive net a true;
+  Net.schedule net ~owner:a ~delay:1.0 (fun () -> incr owned);
+  Net.run net;
+  check Alcotest.int "fires once owner is back up" 1 !owned
+
+let blackout_loss_rate_accepted () =
+  (* loss_rate lives on the closed interval: 1.0 is a valid blackout. *)
+  let net = make_net ~loss_rate:1.0 () in
+  let got = ref 0 in
+  let a = Net.register net ~handler:(fun _ _ -> incr got) in
+  let b = Net.register net ~handler:(fun _ _ -> ()) in
+  for _ = 1 to 10 do
+    Net.send net ~src:b ~dst:a "x"
+  done;
+  Net.run net;
+  check Alcotest.int "nothing delivered" 0 !got;
+  check Alcotest.int "all dropped" 10 (Net.messages_dropped net);
+  Alcotest.check_raises "loss_rate > 1 rejected"
+    (Invalid_argument "Net.create: loss_rate must be in [0,1]") (fun () ->
+      ignore (make_net ~loss_rate:1.5 ()));
+  Net.set_loss_rate net 0.0;
+  Net.send net ~src:b ~dst:a "x";
+  Net.run net;
+  check Alcotest.int "delivers after clearing" 1 !got
+
+let src_down_sends_dropped () =
+  let net = make_net () in
+  let got = ref 0 in
+  let a = Net.register net ~handler:(fun _ _ -> incr got) in
+  let b = Net.register net ~handler:(fun _ _ -> ()) in
+  Net.set_alive net b false;
+  (* A down node emits nothing: silent departure mid-cascade. *)
+  Net.send net ~src:b ~dst:a "x";
+  Net.run net;
+  check Alcotest.int "not delivered" 0 !got;
+  check Alcotest.int "dropped" 1 (Net.messages_dropped net);
+  check Alcotest.int "attributed to src_down" 1 (Net.messages_dropped_src_down net);
+  Net.set_alive net b true;
+  Net.send net ~src:b ~dst:a "x";
+  Net.run net;
+  check Alcotest.int "delivered after revival" 1 !got
+
+(* The RNG-ordering contract: per-message jitter is drawn from the main
+   stream before (and regardless of) the loss coin, and all fault coins
+   come from a separate derived stream. So a lossy run delivers each
+   surviving message at exactly the time the lossless run delivers it. *)
+let deliveries ~loss_rate ~knobs n =
+  let net =
+    Net.create ~loss_rate ~rng:(Rng.create 123) ~topology:(Topology.plane ()) ()
+  in
+  let got = ref [] in
+  let a = Net.register net ~handler:(fun _ msg -> got := (msg, Net.now net) :: !got) in
+  let b = Net.register net ~handler:(fun _ _ -> ()) in
+  knobs net;
+  for i = 1 to n do
+    Net.send net ~src:b ~dst:a i
+  done;
+  Net.run net;
+  List.rev !got
+
+let rng_stream_invariant_under_loss () =
+  let n = 300 in
+  let base = deliveries ~loss_rate:0.0 ~knobs:(fun _ -> ()) n in
+  let lossy = deliveries ~loss_rate:0.3 ~knobs:(fun _ -> ()) n in
+  check Alcotest.int "baseline delivers everything" n (List.length base);
+  check Alcotest.bool "lossy run lost some" true (List.length lossy < n);
+  List.iter
+    (fun (msg, time) ->
+      match List.assoc_opt msg base with
+      | Some t0 ->
+        if abs_float (t0 -. time) > 1e-12 then
+          Alcotest.failf "message %d delivered at %.9f, baseline %.9f" msg time t0
+      | None -> Alcotest.failf "message %d missing from baseline" msg)
+    lossy
+
+let rng_stream_invariant_under_duplication () =
+  let n = 100 in
+  let base = deliveries ~loss_rate:0.0 ~knobs:(fun _ -> ()) n in
+  let dup =
+    deliveries ~loss_rate:0.0 ~knobs:(fun net -> Net.set_duplication_rate net 0.5) n
+  in
+  (* Every original delivery keeps its exact baseline time; duplicates
+     only add extra deliveries. *)
+  List.iter
+    (fun (msg, t0) ->
+      if not (List.exists (fun (m, t) -> m = msg && abs_float (t -. t0) < 1e-12) dup) then
+        Alcotest.failf "message %d lost its baseline delivery time under duplication" msg)
+    base;
+  check Alcotest.bool "duplicates delivered" true (List.length dup > n)
+
+let partition_blocks_and_heals () =
+  let net = make_net () in
+  let got_a = ref 0 and got_b = ref 0 in
+  let a = Net.register net ~handler:(fun _ _ -> incr got_a) in
+  let b = Net.register net ~handler:(fun _ _ -> incr got_b) in
+  Net.partition net [ [ a ] ];
+  check Alcotest.bool "not reachable" false (Net.reachable net ~src:a ~dst:b);
+  Net.send net ~src:a ~dst:b "x";
+  Net.send net ~src:b ~dst:a "y";
+  Net.run net;
+  check Alcotest.int "a->b cut" 0 !got_b;
+  check Alcotest.int "b->a cut" 0 !got_a;
+  check Alcotest.int "attributed to partition" 2 (Net.messages_dropped_partition net);
+  Net.heal_partition net;
+  check Alcotest.bool "reachable after heal" true (Net.reachable net ~src:a ~dst:b);
+  Net.send net ~src:a ~dst:b "x";
+  Net.run net;
+  check Alcotest.int "delivered after heal" 1 !got_b
+
+let partition_cuts_in_flight () =
+  let net = make_net () in
+  let got = ref 0 in
+  let a = Net.register net ~handler:(fun _ _ -> incr got) in
+  let b = Net.register net ~handler:(fun _ _ -> ()) in
+  Net.send net ~src:b ~dst:a "x";
+  (* The cut lands at time 0, before the message's delivery time: the
+     in-flight message must not cross it. *)
+  Net.schedule net ~delay:0.0 (fun () -> Net.partition net [ [ a ] ]);
+  Net.run net;
+  check Alcotest.int "in-flight message cut" 0 !got;
+  check Alcotest.int "dropped" 1 (Net.messages_dropped net)
+
+let per_link_overrides_are_directional () =
+  let net = make_net () in
+  let t_ab = ref nan and t_ba = ref nan in
+  let got_a = ref 0 and got_b = ref 0 in
+  let a =
+    Net.register net ~handler:(fun _ _ ->
+        incr got_a;
+        t_ba := Net.now net)
+  in
+  let b =
+    Net.register net ~handler:(fun _ _ ->
+        incr got_b;
+        t_ab := Net.now net)
+  in
+  let base = Net.proximity net a b in
+  (* Slow one direction only: asymmetric link. *)
+  Net.set_link net ~src:a ~dst:b ~extra_delay:500.0 ();
+  Net.send net ~src:a ~dst:b "x";
+  Net.send net ~src:b ~dst:a "y";
+  Net.run net;
+  check Alcotest.bool "a->b slowed" true (!t_ab >= 500.0);
+  check Alcotest.bool "b->a unaffected" true (!t_ba < base +. 1.0);
+  (* Link-local blackout: only the configured direction goes dark. *)
+  Net.set_link net ~src:a ~dst:b ~loss:1.0 ();
+  Net.send net ~src:a ~dst:b "x";
+  Net.send net ~src:b ~dst:a "y";
+  Net.run net;
+  check Alcotest.int "a->b blacked out" 1 !got_b;
+  check Alcotest.int "b->a delivered" 2 !got_a;
+  Net.clear_link net ~src:a ~dst:b;
+  Net.send net ~src:a ~dst:b "x";
+  Net.run net;
+  check Alcotest.int "cleared link delivers again" 2 !got_b
+
+let duplication_counted () =
+  let net = make_net () in
+  let got = ref 0 in
+  let a = Net.register net ~handler:(fun _ _ -> incr got) in
+  let b = Net.register net ~handler:(fun _ _ -> ()) in
+  Net.set_duplication_rate net 1.0;
+  for _ = 1 to 5 do
+    Net.send net ~src:b ~dst:a "x"
+  done;
+  Net.run net;
+  check Alcotest.int "each message delivered twice" 10 !got;
+  check Alcotest.int "duplications counted" 5 (Net.messages_duplicated net)
+
+let reorder_overtakes () =
+  let net =
+    Net.create ~rng:(Rng.create 9) ~topology:(Topology.plane ()) ()
+  in
+  let order = ref [] in
+  let a = Net.register net ~handler:(fun _ msg -> order := msg :: !order) in
+  let b = Net.register net ~handler:(fun _ _ -> ()) in
+  Net.set_reorder net ~rate:0.5 ~max_extra_delay:1_000.0;
+  for i = 1 to 50 do
+    Net.send net ~src:b ~dst:a i
+  done;
+  Net.run net;
+  let final = List.rev !order in
+  check Alcotest.int "all delivered" 50 (List.length final);
+  check Alcotest.bool "some overtaking happened" true
+    (final <> List.sort_uniq compare final)
+
 let suite =
   ( "simnet",
     [
@@ -210,4 +409,14 @@ let suite =
       "per-kind counters" => per_kind_counters;
       "step" => step_one_event;
       "node count" => node_count_tracks;
+      "owner-gated thunks" => owner_gated_thunks;
+      "loss_rate 1.0 accepted" => blackout_loss_rate_accepted;
+      "src-down sends dropped" => src_down_sends_dropped;
+      "rng stream invariant under loss" => rng_stream_invariant_under_loss;
+      "rng stream invariant under duplication" => rng_stream_invariant_under_duplication;
+      "partition blocks and heals" => partition_blocks_and_heals;
+      "partition cuts in-flight" => partition_cuts_in_flight;
+      "per-link overrides directional" => per_link_overrides_are_directional;
+      "duplication counted" => duplication_counted;
+      "reorder overtakes" => reorder_overtakes;
     ] )
