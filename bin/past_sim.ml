@@ -5,10 +5,15 @@
    PAST_SCALE for the experiment runners; structural parameters are
    never scaled). `--json` emits the tables as JSON instead of text;
    `--trace N` appends the first N reconstructed route traces when the
-   experiment records them. `past_sim metrics` runs a small end-to-end
-   workload and dumps the telemetry registry snapshot. *)
+   experiment records them. `--jobs N` (or PAST_JOBS; default: the
+   runtime's recommended domain count) sizes the worker-domain pool the
+   per-row experiment loops fan out over — results are merged in
+   submission order, so output is byte-identical for any N. `past_sim
+   metrics` runs a small end-to-end workload and dumps the telemetry
+   registry snapshot. *)
 
 open Cmdliner
+module Domain_pool = Past_stdext.Domain_pool
 
 let experiment_names = List.map fst Past_experiments.Report.all
 
@@ -31,27 +36,43 @@ let trace_arg =
   in
   Arg.(value & opt int 0 & info [ "trace" ] ~docv:"N" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Size of the worker-domain pool the experiment loops fan out over (default: PAST_JOBS, \
+     else the runtime's recommended domain count). Results merge in submission order, so the \
+     output is byte-identical for any $(docv)."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let apply_scale scale =
   match scale with
   | Some f when f > 0.0 -> Unix.putenv "PAST_SCALE" (string_of_float f)
   | Some _ -> prerr_endline "ignoring non-positive --scale"
   | None -> ()
 
+let apply_jobs jobs =
+  match jobs with
+  | Some j when j >= 1 -> Domain_pool.set_jobs j
+  | Some _ -> prerr_endline "ignoring non-positive --jobs"
+  | None -> ()
+
 let run_cmd name =
   let doc = Printf.sprintf "Run the %s experiment and print its table(s)." name in
-  let f scale json trace =
+  let f scale jobs json trace =
     apply_scale scale;
+    apply_jobs jobs;
     Past_experiments.Report.run_named ~json ~trace name
   in
-  Cmd.v (Cmd.info name ~doc) Term.(const f $ scale_arg $ json_arg $ trace_arg)
+  Cmd.v (Cmd.info name ~doc) Term.(const f $ scale_arg $ jobs_arg $ json_arg $ trace_arg)
 
 let all_cmd =
   let doc = "Run every experiment (regenerates all tables)." in
-  let f scale json trace =
+  let f scale jobs json trace =
     apply_scale scale;
-    Past_experiments.Report.run_all ~json ~trace ()
+    apply_jobs jobs;
+    ignore (Past_experiments.Report.run_all ~json ~trace () : (string * float) list)
   in
-  Cmd.v (Cmd.info "all" ~doc) Term.(const f $ scale_arg $ json_arg $ trace_arg)
+  Cmd.v (Cmd.info "all" ~doc) Term.(const f $ scale_arg $ jobs_arg $ json_arg $ trace_arg)
 
 let metrics_cmd =
   let doc =

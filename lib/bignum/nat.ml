@@ -356,18 +356,122 @@ let to_string (a : t) =
 
 let pp fmt a = Format.pp_print_string fmt (to_string a)
 
+(* --- modular exponentiation --------------------------------------------- *)
+
+(* The exponent's 4-bit windows, least significant first. *)
+let nibbles_of (e : t) =
+  let bits = num_bits e in
+  let count = (bits + 3) / 4 in
+  Array.init count (fun i ->
+      (if testbit e (4 * i) then 1 else 0)
+      lor (if testbit e ((4 * i) + 1) then 2 else 0)
+      lor (if testbit e ((4 * i) + 2) then 4 else 0)
+      lor if testbit e ((4 * i) + 3) then 8 else 0)
+
+(* Montgomery arithmetic for an odd modulus m of n limbs, with
+   R = base^n: redc maps t < m*R to t*R^-1 mod m without any division,
+   so each modular multiplication costs two schoolbook products instead
+   of a product plus a Knuth division. *)
+module Mont = struct
+  type ctx = { m : t; n : int; m' : int (* -m[0]^-1 mod base *) }
+
+  let make m =
+    let n = Array.length m in
+    (* 2-adic Newton iteration: x := x(2 - m0*x) doubles the number of
+       correct low bits; x0 = m0 is already correct mod 8 for odd m0. *)
+    let m0 = m.(0) in
+    let x = ref m0 in
+    for _ = 1 to 4 do
+      x := !x * (2 - (m0 * !x land mask)) land mask
+    done;
+    { m; n; m' = base - !x }
+
+  (* In-place reduction of t (length 2n+1, value < m*R): returns
+     t*R^-1 mod m, canonical (< m). *)
+  let redc ctx (t : int array) =
+    let m = ctx.m and n = ctx.n in
+    for i = 0 to n - 1 do
+      let u = t.(i) * ctx.m' land mask in
+      let carry = ref 0 in
+      for j = 0 to n - 1 do
+        let x = t.(i + j) + (u * m.(j)) + !carry in
+        t.(i + j) <- x land mask;
+        carry := x lsr base_bits
+      done;
+      let k = ref (i + n) in
+      while !carry <> 0 do
+        let x = t.(!k) + !carry in
+        t.(!k) <- x land mask;
+        carry := x lsr base_bits;
+        incr k
+      done
+    done;
+    let r = normalize (Array.sub t n (n + 1)) in
+    if compare r m >= 0 then sub r m else r
+
+  let mul_redc ctx a b =
+    let p = mul a b in
+    let t = Array.make ((2 * ctx.n) + 1) 0 in
+    Array.blit p 0 t 0 (Array.length p);
+    redc ctx t
+
+  let to_mont ctx x = rem (shift_left x (ctx.n * base_bits)) ctx.m
+
+  let of_mont ctx x =
+    let t = Array.make ((2 * ctx.n) + 1) 0 in
+    Array.blit x 0 t 0 (Array.length x);
+    redc ctx t
+end
+
+(* 4-bit fixed-window exponentiation: precompute b^0..b^15 mod m, then
+   per exponent nibble (most significant first) square four times and
+   multiply by the table entry — at most one multiply per four exponent
+   bits instead of the expected two of bit-at-a-time square-and-multiply.
+   Odd moduli (every RSA modulus) additionally use Montgomery
+   multiplication, replacing each Knuth division with a second cheap
+   schoolbook pass. *)
 let mod_pow b e m =
   if is_zero m then raise Division_by_zero;
   if equal m one then zero
   else begin
-    let result = ref one in
-    let acc = ref (rem b m) in
-    let bits = num_bits e in
-    for i = 0 to bits - 1 do
-      if testbit e i then result := rem (mul !result !acc) m;
-      if i < bits - 1 then acc := rem (mul !acc !acc) m
-    done;
-    !result
+    let nib = nibbles_of e in
+    let count = Array.length nib in
+    if count = 0 then one
+    else begin
+      let b = rem b m in
+      if not (is_even m) then begin
+        let ctx = Mont.make m in
+        let one_m = Mont.to_mont ctx one in
+        let pow = Array.make 16 one_m in
+        pow.(1) <- Mont.to_mont ctx b;
+        for i = 2 to 15 do
+          pow.(i) <- Mont.mul_redc ctx pow.(i - 1) pow.(1)
+        done;
+        let result = ref pow.(nib.(count - 1)) in
+        for j = count - 2 downto 0 do
+          for _ = 1 to 4 do
+            result := Mont.mul_redc ctx !result !result
+          done;
+          if nib.(j) <> 0 then result := Mont.mul_redc ctx !result pow.(nib.(j))
+        done;
+        Mont.of_mont ctx !result
+      end
+      else begin
+        let pow = Array.make 16 one in
+        pow.(1) <- b;
+        for i = 2 to 15 do
+          pow.(i) <- rem (mul pow.(i - 1) b) m
+        done;
+        let result = ref pow.(nib.(count - 1)) in
+        for j = count - 2 downto 0 do
+          for _ = 1 to 4 do
+            result := rem (mul !result !result) m
+          done;
+          if nib.(j) <> 0 then result := rem (mul !result pow.(nib.(j))) m
+        done;
+        !result
+      end
+    end
   end
 
 let rec gcd a b = if is_zero b then a else gcd b (rem a b)

@@ -20,13 +20,14 @@ module Id = Past_id.Id
 module Rng = Past_stdext.Rng
 module Stats = Past_stdext.Stats
 module Text_table = Past_stdext.Text_table
+module Domain_pool = Past_stdext.Domain_pool
 
 (* --- A: b sweep --------------------------------------------------------- *)
 
 type b_row = { b : int; avg_hops : float; bound : float; avg_rt : float }
 
 let run_b_sweep ~n ~lookups ~seed =
-  List.map
+  Domain_pool.map_shared
     (fun b ->
       let config = { Config.default with Config.b } in
       let overlay : Harness.probe Overlay.t = Overlay.create ~config ~seed:(seed + b) () in
@@ -55,38 +56,57 @@ let b_table rows =
 
 type l_row = { l : int; below : float; at : float }
 
-(* Delivery success just below and at the ⌊l/2⌋ threshold. *)
+(* Delivery success just below and at the ⌊l/2⌋ threshold. Every
+   (l, m, trial) cell is an isolated, independently seeded overlay, so
+   the whole grid fans out over the domain pool and the per-(l, m)
+   fractions are reassembled in sweep order. *)
 let run_l_sweep ~n ~trials ~lookups_per_trial ~seed =
-  List.map
-    (fun l ->
-      let measure m =
+  let ls = [ 8; 16; 32 ] in
+  let cases =
+    List.concat_map
+      (fun l ->
+        List.concat_map
+          (fun m -> List.init trials (fun i -> (l, m, i + 1)))
+          [ (l / 2) - 1; l / 2 ])
+      ls
+  in
+  let counts =
+    Domain_pool.map_shared
+      (fun (l, m, trial) ->
         let config = { Config.default with Config.leaf_set_size = l } in
+        let overlay : Harness.probe Overlay.t =
+          Overlay.create ~config ~seed:(seed + (100 * l) + (10 * m) + trial) ()
+        in
+        Overlay.build_static overlay ~n;
+        let key = Id.random (Overlay.rng overlay) ~width:Id.node_bits in
+        List.iter (Overlay.kill overlay) (Overlay.sorted_neighbours overlay key ~k:m);
+        let truth = Overlay.closest_live_node overlay key in
         let ok = ref 0 and total = ref 0 in
-        for trial = 1 to trials do
-          let overlay : Harness.probe Overlay.t =
-            Overlay.create ~config ~seed:(seed + (100 * l) + (10 * m) + trial) ()
-          in
-          Overlay.build_static overlay ~n;
-          let key = Id.random (Overlay.rng overlay) ~width:Id.node_bits in
-          List.iter (Overlay.kill overlay) (Overlay.sorted_neighbours overlay key ~k:m);
-          let truth = Overlay.closest_live_node overlay key in
-          Overlay.install_apps overlay (fun node ->
-              {
-                Harness.null_app with
-                Node.deliver =
-                  (fun ~key:_ _ _ ->
-                    incr total;
-                    if Node.addr node = Node.addr truth then incr ok);
-              });
-          for _ = 1 to lookups_per_trial do
-            Node.route (Overlay.random_live_node overlay) ~key ()
-          done;
-          Overlay.run overlay
+        Overlay.install_apps overlay (fun node ->
+            {
+              Harness.null_app with
+              Node.deliver =
+                (fun ~key:_ _ _ ->
+                  incr total;
+                  if Node.addr node = Node.addr truth then incr ok);
+            });
+        for _ = 1 to lookups_per_trial do
+          Node.route (Overlay.random_live_node overlay) ~key ()
         done;
-        float_of_int !ok /. float_of_int (Stdlib.max 1 !total)
-      in
-      { l; below = measure ((l / 2) - 1); at = measure (l / 2) })
-    [ 8; 16; 32 ]
+        Overlay.run overlay;
+        (!ok, !total))
+      cases
+  in
+  let fraction l m =
+    let ok, total =
+      List.fold_left2
+        (fun (ok, tot) (l', m', _) (hit, seen) ->
+          if l' = l && m' = m then (ok + hit, tot + seen) else (ok, tot))
+        (0, 0) cases counts
+    in
+    float_of_int ok /. float_of_int (Stdlib.max 1 total)
+  in
+  List.map (fun l -> { l; below = fraction l ((l / 2) - 1); at = fraction l (l / 2) }) ls
 
 let l_table rows =
   let t =
@@ -103,7 +123,7 @@ let l_table rows =
 type t_row = { t_pri : float; final_util : float; rejects : float }
 
 let run_t_sweep ~seed =
-  List.map
+  Domain_pool.map_shared
     (fun t_pri ->
       let base = Exp_storage.default_params in
       let params =
@@ -133,7 +153,7 @@ let t_table rows =
 type bias_row = { bias : float; success : float; avg_hops_b : float }
 
 let run_bias_sweep ~n ~lookups ~fraction ~retries ~seed =
-  List.map
+  Domain_pool.map_shared
     (fun bias ->
       let config =
         { Config.default with Config.randomized_routing = true; randomize_bias = bias }

@@ -47,6 +47,10 @@ let mean_pairwise_proximity net addrs =
     addrs;
   Stats.mean s
 
+(* Deliberately sequential: one shared system and one RNG stream feed
+   both the insert phase and the diversity sampling, so there is no
+   independent per-trial unit to fan out (the per-sample work is a
+   cheap read-only probe of the built system). *)
 let run params =
   let node_config =
     {

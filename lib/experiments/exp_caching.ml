@@ -18,6 +18,7 @@ module Popularity = Past_workload.Popularity
 module Stats = Past_stdext.Stats
 module Rng = Past_stdext.Rng
 module Text_table = Past_stdext.Text_table
+module Domain_pool = Past_stdext.Domain_pool
 module Id = Past_id.Id
 
 type params = {
@@ -141,11 +142,14 @@ let run_one params policy fill =
   }
 
 let run params =
-  let rows =
+  (* Flatten the (fill, policy) grid: every cell builds and probes its
+     own system, so all six default cells run in parallel. *)
+  let cases =
     List.concat_map
-      (fun fill -> List.map (fun policy -> run_one params policy fill) params.policies)
+      (fun fill -> List.map (fun policy -> (policy, fill)) params.policies)
       params.fill_fractions
   in
+  let rows = Domain_pool.map_shared (fun (policy, fill) -> run_one params policy fill) cases in
   { rows; params }
 
 let table { rows; _ } =

@@ -14,6 +14,7 @@ module Node = Past_pastry.Node
 module Id = Past_id.Id
 module Rng = Past_stdext.Rng
 module Text_table = Past_stdext.Text_table
+module Domain_pool = Past_stdext.Domain_pool
 
 type params = {
   n : int;
@@ -38,48 +39,62 @@ type row = { m : int; success_rate : float; delivered_rate : float }
 
 type result = { rows : row list; half : int }
 
+(* One (m, trial) cell: fresh overlay (so failures do not accumulate),
+   m victims killed, lookups fired; returns (hits, deliveries). *)
+let run_trial params config m trial =
+  let overlay : Harness.probe Overlay.t =
+    Overlay.create ~config ~seed:(params.seed + (1000 * m) + trial) ()
+  in
+  Overlay.build_static overlay ~n:params.n;
+  let rng = Overlay.rng overlay in
+  let key = Id.random rng ~width:Id.node_bits in
+  (* Kill the m nodes numerically closest to the key. *)
+  let victims = Overlay.sorted_neighbours overlay key ~k:m in
+  List.iter (Overlay.kill overlay) victims;
+  let truth = Overlay.closest_live_node overlay key in
+  let hit = ref 0 and got = ref 0 in
+  Overlay.install_apps overlay (fun node ->
+      {
+        Harness.null_app with
+        Node.deliver =
+          (fun ~key:_ _ _ ->
+            incr got;
+            if Node.addr node = Node.addr truth then incr hit);
+      });
+  for _ = 1 to params.lookups_per_trial do
+    let src = Overlay.random_live_node overlay in
+    Node.route src ~key ()
+  done;
+  Overlay.run overlay;
+  (!hit, !got)
+
 let run params =
   let config =
     { Past_pastry.Config.default with Past_pastry.Config.leaf_set_size = params.leaf_set_size }
   in
+  (* Every (m, trial) pair is seeded independently, so the whole grid
+     fans out over the domain pool; per-m sums are reassembled in
+     failure_counts order below. *)
+  let cases =
+    List.concat_map
+      (fun m -> List.init params.trials (fun i -> (m, i + 1)))
+      params.failure_counts
+  in
+  let counts = Domain_pool.map_shared (fun (m, trial) -> run_trial params config m trial) cases in
   let rows =
     List.map
       (fun m ->
-        let ok = ref 0 and delivered = ref 0 and total = ref 0 in
-        for trial = 1 to params.trials do
-          (* Fresh overlay per trial so failures do not accumulate. *)
-          let overlay : Harness.probe Overlay.t =
-            Overlay.create ~config ~seed:(params.seed + (1000 * m) + trial) ()
-          in
-          Overlay.build_static overlay ~n:params.n;
-          let rng = Overlay.rng overlay in
-          let key = Id.random rng ~width:Id.node_bits in
-          (* Kill the m nodes numerically closest to the key. *)
-          let victims = Overlay.sorted_neighbours overlay key ~k:m in
-          List.iter (Overlay.kill overlay) victims;
-          let truth = Overlay.closest_live_node overlay key in
-          let hit = ref 0 and got = ref 0 in
-          Overlay.install_apps overlay (fun node ->
-              {
-                Harness.null_app with
-                Node.deliver =
-                  (fun ~key:_ _ _ ->
-                    incr got;
-                    if Node.addr node = Node.addr truth then incr hit);
-              });
-          for _ = 1 to params.lookups_per_trial do
-            let src = Overlay.random_live_node overlay in
-            Node.route src ~key ()
-          done;
-          Overlay.run overlay;
-          ok := !ok + !hit;
-          delivered := !delivered + !got;
-          total := !total + params.lookups_per_trial
-        done;
+        let ok, delivered =
+          List.fold_left2
+            (fun (ok, del) (m', _) (hit, got) ->
+              if m' = m then (ok + hit, del + got) else (ok, del))
+            (0, 0) cases counts
+        in
+        let total = params.trials * params.lookups_per_trial in
         {
           m;
-          success_rate = float_of_int !ok /. float_of_int !total;
-          delivered_rate = float_of_int !delivered /. float_of_int !total;
+          success_rate = float_of_int ok /. float_of_int total;
+          delivered_rate = float_of_int delivered /. float_of_int total;
         })
       params.failure_counts
   in

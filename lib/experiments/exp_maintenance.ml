@@ -14,6 +14,7 @@ module Net = Past_simnet.Net
 module Config = Past_pastry.Config
 module Stats = Past_stdext.Stats
 module Text_table = Past_stdext.Text_table
+module Domain_pool = Past_stdext.Domain_pool
 
 type params = { ns : int list; join_samples : int; fail_samples : int; seed : int }
 
@@ -43,8 +44,10 @@ let count_repair net =
 
 let run params =
   let config = Config.default in
+  (* Each N grows and probes its own dynamic overlay — rows run on the
+     shared domain pool. *)
   let rows =
-    List.map
+    Domain_pool.map_shared
       (fun n ->
         let overlay : Harness.probe Overlay.t =
           Overlay.create ~config ~seed:(params.seed + n) ()

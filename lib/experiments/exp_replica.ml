@@ -50,6 +50,11 @@ let known_replicas node replicas =
     Hashtbl.replace known (Node.addr node) ();
   Hashtbl.fold (fun a () acc -> a :: acc) known []
 
+(* Deliberately sequential: unlike the swept experiments there is a
+   single overlay whose lookups share one RNG stream and per-lookup
+   install_apps/run cycles — splitting it across domains would change
+   the measured distribution, not just the schedule. The domain pool
+   parallelizes the other suites around this one. *)
 let run params =
   let overlay : Harness.probe Overlay.t = Overlay.create ~seed:params.seed () in
   Overlay.build_static ~rt_samples:64 overlay ~n:params.n;

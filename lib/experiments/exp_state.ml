@@ -10,6 +10,7 @@ module Routing_table = Past_pastry.Routing_table
 module Leaf_set = Past_pastry.Leaf_set
 module Stats = Past_stdext.Stats
 module Text_table = Past_stdext.Text_table
+module Domain_pool = Past_stdext.Domain_pool
 
 type params = { ns : int list; b : int; leaf_set_size : int; seed : int }
 
@@ -27,8 +28,9 @@ type result = { rows : row list }
 
 let run params =
   let config = { Config.default with Config.b = params.b; leaf_set_size = params.leaf_set_size } in
+  (* One isolated overlay per N — rows run on the shared domain pool. *)
   let rows =
-    List.map
+    Domain_pool.map_shared
       (fun n ->
         let overlay : Harness.probe Overlay.t =
           Overlay.create ~config ~seed:(params.seed + n) ()

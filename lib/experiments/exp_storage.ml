@@ -22,6 +22,7 @@ module Capacities = Past_workload.Capacities
 module Stats = Past_stdext.Stats
 module Rng = Past_stdext.Rng
 module Text_table = Past_stdext.Text_table
+module Domain_pool = Past_stdext.Domain_pool
 
 type policy = Baseline | Thresholds | Full
 
@@ -179,7 +180,9 @@ let run_policy_with_config params policy node_config =
 
 let run_policy params policy = run_policy_with_config params policy (node_config_of policy)
 
-let run params = { rows = List.map (run_policy params) params.policies; params }
+(* Each policy fills its own isolated system from the same seeds, so
+   the three ablation arms run in parallel on the shared domain pool. *)
+let run params = { rows = Domain_pool.map_shared (run_policy params) params.policies; params }
 
 (* Used by the ablation sweep: the Full policy with custom admission
    thresholds. *)

@@ -13,6 +13,7 @@
 
 module Text_table = Past_stdext.Text_table
 module Json = Past_stdext.Json
+module Domain_pool = Past_stdext.Domain_pool
 module Registry = Past_telemetry.Registry
 module Trace = Past_telemetry.Trace
 
@@ -251,19 +252,53 @@ let print_output ~trace (out : output) =
     | Some reg -> print_traces ~count:trace reg
     | None -> print_endline "(this experiment does not retain route traces)"
 
+(* The full suite as one JSON string. Shared by `past_sim all --json`
+   and the --jobs determinism test: every experiment merges its
+   pool-mapped rows in submission order, so this string is
+   byte-identical for any --jobs value at fixed PAST_SCALE and seeds. *)
+let all_json ?(trace = 0) () =
+  let objs = List.map (fun (name, run) -> json_of_output ~trace name (run ())) all in
+  Json.to_string ~indent:true (Json.List objs)
+
+let wall_clock_table timings =
+  let t = Text_table.create [ "experiment"; "wall clock" ] in
+  List.iter (fun (name, dt) -> Text_table.add_rowf t "%s|%.1fs" name dt) timings;
+  Text_table.add_rowf t "total (jobs=%d)|%.1fs" (Domain_pool.current_jobs ())
+    (List.fold_left (fun acc (_, dt) -> acc +. dt) 0.0 timings);
+  t
+
+(* Runs every experiment; returns (name, wall seconds) per experiment
+   so bench/main can track the suite's speedup in BENCH_results.json.
+   The wall-clock table goes to stderr in JSON mode to keep stdout
+   byte-comparable across --jobs values. *)
 let run_all ?(json = false) ?(trace = 0) () =
+  let timings = ref [] in
+  let timed name run =
+    let t0 = Unix.gettimeofday () in
+    let out = run () in
+    let dt = Unix.gettimeofday () -. t0 in
+    timings := (name, dt) :: !timings;
+    (out, dt)
+  in
   if json then begin
-    let objs = List.map (fun (name, run) -> json_of_output ~trace name (run ())) all in
+    let objs =
+      List.map (fun (name, run) -> json_of_output ~trace name (fst (timed name run))) all
+    in
     print_endline (Json.to_string ~indent:true (Json.List objs))
   end
   else
     List.iter
       (fun (name, run) ->
         Printf.printf "\n[%s]\n%!" name;
-        let t0 = Sys.time () in
-        print_output ~trace (run ());
-        Printf.printf "(%s finished in %.1fs cpu)\n%!" name (Sys.time () -. t0))
-      all
+        let out, dt = timed name run in
+        print_output ~trace out;
+        Printf.printf "(%s finished in %.1fs)\n%!" name dt)
+      all;
+  let timings = List.rev !timings in
+  let table = wall_clock_table timings in
+  if json then output_string stderr ("\nwall clock per experiment\n" ^ Text_table.render table)
+  else Text_table.print ~title:"wall clock per experiment" table;
+  timings
 
 let run_named ?(json = false) ?(trace = 0) name =
   match List.assoc_opt name all with

@@ -5,6 +5,7 @@ let () =
     [
       Test_rng.suite;
       Test_stdext.suite;
+      Test_domain_pool.suite;
       Test_nat.suite;
       Test_crypto.suite;
       Test_id.suite;

@@ -18,6 +18,17 @@ let hops_grow_logarithmically () =
     check Alcotest.bool "within bound" true (large.avg_hops < large.bound)
   | _ -> Alcotest.fail "expected two rows"
 
+let registries_follow_row_order () =
+  (* Retained telemetry registries must line up with the rows they came
+     from — in params.ns submission order, not accumulation order — so
+     `--trace` attributes routes to the right N. *)
+  let open Past_experiments.Exp_hops in
+  let ns = [ 300; 100; 200 ] in
+  let r = run { ns; lookups = 50; b = 4; leaf_set_size = 16; seed = 21 } in
+  check (Alcotest.list Alcotest.int) "rows in ns order" ns
+    (List.map (fun (row : row) -> row.n) r.rows);
+  check (Alcotest.list Alcotest.int) "registries in ns order" ns (List.map fst r.registries)
+
 let hop_distribution_sums_to_one () =
   let open Past_experiments.Exp_hops in
   let d = run_distribution { dn = 500; dlookups = 500; db = 4; dseed = 6 } in
@@ -195,6 +206,7 @@ let suite =
     [
       "EXP1 golden determinism" => golden_determinism;
       "EXP1 hops grow logarithmically" => hops_grow_logarithmically;
+      "EXP1 registries follow row order" => registries_follow_row_order;
       "EXP2 hop distribution" => hop_distribution_sums_to_one;
       "EXP3 state below formula" => state_below_formula;
       "EXP4 locality beats baseline" => locality_beats_baseline;

@@ -180,6 +180,27 @@ let qcheck_mod_inv =
       | Some x -> Nat.equal (Nat.rem (Nat.mul (Nat.rem a m) x) m) (Nat.rem Nat.one m)
       | None -> not (Nat.equal (Nat.gcd a m) Nat.one))
 
+let qcheck_mod_pow =
+  (* Bit-at-a-time square-and-multiply reference: the windowed /
+     Montgomery implementation must agree on both parities of m. *)
+  let naive b e m =
+    if Nat.equal m Nat.one then Nat.zero
+    else begin
+      let result = ref Nat.one in
+      let acc = ref (Nat.rem b m) in
+      for i = 0 to Nat.num_bits e - 1 do
+        if Nat.testbit e i then result := Nat.rem (Nat.mul !result !acc) m;
+        acc := Nat.rem (Nat.mul !acc !acc) m
+      done;
+      !result
+    end
+  in
+  QCheck.Test.make ~name:"mod_pow matches square-and-multiply" ~count:200
+    (QCheck.triple arb_nat arb_nat arb_nat)
+    (fun (b, e, m) ->
+      let m = Nat.add m Nat.one in
+      Nat.equal (Nat.mod_pow b e m) (naive b e m))
+
 let qcheck_logxor =
   QCheck.Test.make ~name:"xor self-inverse" ~count:300 (QCheck.pair arb_nat arb_nat)
     (fun (a, b) -> Nat.equal a (Nat.logxor (Nat.logxor a b) b))
@@ -215,5 +236,6 @@ let suite =
       QCheck_alcotest.to_alcotest qcheck_shift;
       QCheck_alcotest.to_alcotest qcheck_compare_total;
       QCheck_alcotest.to_alcotest qcheck_mod_inv;
+      QCheck_alcotest.to_alcotest qcheck_mod_pow;
       QCheck_alcotest.to_alcotest qcheck_logxor;
     ] )
