@@ -79,8 +79,8 @@ let cache_cycle_once () =
 
 (* --- one routed lookup on a prebuilt overlay ---------------------------- *)
 
-let overlay n : probe Overlay.t =
-  let ov = Overlay.create ~seed:42 () in
+let overlay ?trace_capacity n : probe Overlay.t =
+  let ov = Overlay.create ?trace_capacity ~seed:42 () in
   Overlay.build_static ov ~n;
   Overlay.install_apps ov (fun _ ->
       {
@@ -100,7 +100,7 @@ let route_once ov =
 
 type sys_fixture = { sys : System.t; client : Client.t; mutable n : int }
 
-let system n =
+let system ?trace_capacity n =
   let node_config =
     {
       Past_core.Node.default_config with
@@ -111,7 +111,7 @@ let system n =
     }
   in
   let sys =
-    System.create ~node_config ~build:`Static ~seed:43 ~n
+    System.create ?trace_capacity ~node_config ~build:`Static ~seed:43 ~n
       ~node_capacity:(fun _ _ -> max_int / 4)
       ()
   in

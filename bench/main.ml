@@ -75,8 +75,17 @@ let id_y = Id.random rng ~width:Id.node_bits
 let overlay = lazy (Harness_fixture.overlay 2000)
 let past_system = lazy (Harness_fixture.system 100)
 
+(* Telemetry-overhead pair: the same whole-operation benches with the
+   trace ring disabled (capacity 0 — recording is one dead branch).
+   Comparing against the default-traced variants above bounds the cost
+   of leaving causal tracing on. *)
+let overlay_untraced = lazy (Harness_fixture.overlay ~trace_capacity:0 2000)
+let past_system_untraced = lazy (Harness_fixture.system ~trace_capacity:0 100)
+
 let micro_tests () =
   let overlay = Lazy.force overlay and past_system = Lazy.force past_system in
+  let overlay_untraced = Lazy.force overlay_untraced
+  and past_system_untraced = Lazy.force past_system_untraced in
   Test.make_grouped ~name:"past"
     [
       Test.make ~name:"sha1 (4 KiB)" (Staged.stage (fun () -> Sha1.digest_string payload_4k));
@@ -100,8 +109,12 @@ let micro_tests () =
       Test.make ~name:"cache offer+find (GD-S)" (Staged.stage Harness_fixture.cache_cycle_once);
       Test.make ~name:"route 1 lookup (N=2000)"
         (Staged.stage (fun () -> Harness_fixture.route_once overlay));
+      Test.make ~name:"route 1 lookup (N=2000, tracing off)"
+        (Staged.stage (fun () -> Harness_fixture.route_once overlay_untraced));
       Test.make ~name:"full PAST insert (N=100, k=3)"
         (Staged.stage (fun () -> Harness_fixture.insert_once past_system));
+      Test.make ~name:"full PAST insert (N=100, k=3, tracing off)"
+        (Staged.stage (fun () -> Harness_fixture.insert_once past_system_untraced));
     ]
 
 let run_micro () =

@@ -56,23 +56,66 @@ let apply_jobs jobs =
   | Some _ -> prerr_endline "ignoring non-positive --jobs"
   | None -> ()
 
+let monitors_arg =
+  let doc =
+    "Activate the online invariant monitors (leaf-set symmetry, replica counts, hop bound, \
+     storage-quota conservation) in every system the run creates; exit 1 if any monitor \
+     records a violation. Equivalent to setting PAST_MONITORS=1."
+  in
+  Arg.(value & flag & info [ "monitors" ] ~doc)
+
+let apply_monitors monitors = if monitors then Unix.putenv "PAST_MONITORS" "1"
+
+(* Exit nonzero when any monitor in any system (including systems run
+   on pool domains) recorded a violation. *)
+let check_monitors monitors =
+  let module Monitor = Past_telemetry.Monitor in
+  if monitors then
+    match Monitor.global_violations () with
+    | 0 -> prerr_endline "invariant monitors: all green"
+    | v ->
+      Printf.eprintf "invariant monitors: %d violation(s)\n" v;
+      List.iter (fun line -> Printf.eprintf "  %s\n" line) (Monitor.global_summaries ());
+      exit 1
+
+let write_chrome_trace ~out registry =
+  let module Trace = Past_telemetry.Trace in
+  let tracer = Past_telemetry.Registry.tracer registry in
+  let oc = open_out out in
+  output_string oc (Past_stdext.Json.to_string ~indent:true (Trace.chrome_json tracer));
+  output_char oc '\n';
+  close_out oc;
+  Printf.eprintf "wrote %s: %d trace event(s), %d span(s), %d route(s)%s\n" out
+    (Trace.total_recorded tracer)
+    (List.length (Trace.spans tracer))
+    (List.length (Trace.routes tracer))
+    (match Trace.dropped_total tracer with
+    | 0 -> ""
+    | d -> Printf.sprintf " (%d dropped: enlarge the ring)" d)
+
 let run_cmd name =
   let doc = Printf.sprintf "Run the %s experiment and print its table(s)." name in
-  let f scale jobs json trace =
+  let f scale jobs json trace monitors =
     apply_scale scale;
     apply_jobs jobs;
-    Past_experiments.Report.run_named ~json ~trace name
+    apply_monitors monitors;
+    Past_experiments.Report.run_named ~json ~trace name;
+    check_monitors monitors
   in
-  Cmd.v (Cmd.info name ~doc) Term.(const f $ scale_arg $ jobs_arg $ json_arg $ trace_arg)
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const f $ scale_arg $ jobs_arg $ json_arg $ trace_arg $ monitors_arg)
 
 let all_cmd =
   let doc = "Run every experiment (regenerates all tables)." in
-  let f scale jobs json trace =
+  let f scale jobs json trace monitors =
     apply_scale scale;
     apply_jobs jobs;
-    ignore (Past_experiments.Report.run_all ~json ~trace () : (string * float) list)
+    apply_monitors monitors;
+    ignore (Past_experiments.Report.run_all ~json ~trace () : (string * float) list);
+    check_monitors monitors
   in
-  Cmd.v (Cmd.info "all" ~doc) Term.(const f $ scale_arg $ jobs_arg $ json_arg $ trace_arg)
+  Cmd.v (Cmd.info "all" ~doc)
+    Term.(const f $ scale_arg $ jobs_arg $ json_arg $ trace_arg $ monitors_arg)
 
 let metrics_cmd =
   let doc =
@@ -107,8 +150,17 @@ let churn_cmd =
     let doc = "RNG seed (default 4); runs are a pure function of it." in
     Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED" ~doc)
   in
-  let f scale json rate duration seed =
+  let trace_out_arg =
+    let doc =
+      "Write the run's causal trace (operation spans, routes, hops, repair cascades) as \
+       Chrome trace-event JSON to $(docv) — open it in Perfetto (ui.perfetto.dev) or \
+       chrome://tracing."
+    in
+    Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+  in
+  let f scale json rate duration seed monitors trace_out =
     apply_scale scale;
+    apply_monitors monitors;
     let p = Exp_churn.default_params in
     let p =
       {
@@ -122,21 +174,47 @@ let churn_cmd =
         seed = Option.value ~default:p.Exp_churn.seed seed;
       }
     in
+    let trace_capacity = Option.map (fun _ -> 262_144) trace_out in
+    let r = Exp_churn.run ?trace_capacity p in
     let out =
-      Past_experiments.Report.tables
-        [
-          ( "EXP14: invariants under sustained churn (C5 repair cost, C6 availability)",
-            Exp_churn.table (Exp_churn.run p) );
-        ]
+      {
+        (Past_experiments.Report.tables
+           [
+             ( "EXP14: invariants under sustained churn (C5 repair cost, C6 availability)",
+               Exp_churn.table r );
+             ( "EXP14b: churn time-series (per-window repair traffic, live nodes, probe \
+                latency)",
+               Exp_churn.series_table r );
+           ])
+        with
+        Past_experiments.Report.trace_registry = Some r.Exp_churn.registry;
+      }
     in
     if json then
       print_endline
         (Past_stdext.Json.to_string ~indent:true
            (Past_experiments.Report.json_of_output ~trace:0 "churn" out))
-    else Past_experiments.Report.print_output ~trace:0 out
+    else Past_experiments.Report.print_output ~trace:0 out;
+    Option.iter (fun file -> write_chrome_trace ~out:file r.Exp_churn.registry) trace_out;
+    check_monitors monitors
   in
   Cmd.v (Cmd.info "churn" ~doc)
-    Term.(const f $ scale_arg $ json_arg $ rate_arg $ duration_arg $ seed_arg)
+    Term.(
+      const f $ scale_arg $ json_arg $ rate_arg $ duration_arg $ seed_arg $ monitors_arg
+      $ trace_out_arg)
+
+let trace_cmd =
+  let doc =
+    "Run a small traced PAST workload (inserts, a crash with repair, cached lookups, a \
+     reclaim) and write its full causal trace as Chrome trace-event JSON — open it in \
+     Perfetto (ui.perfetto.dev) or chrome://tracing."
+  in
+  let out_arg =
+    let doc = "Output file for the trace-event JSON." in
+    Arg.(value & opt string "past_trace.json" & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let f out = Past_experiments.Report.trace_export ~out () in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const f $ out_arg)
 
 let list_cmd =
   let doc = "List available experiments." in
@@ -147,7 +225,7 @@ let () =
   let doc = "PAST reproduction: run the paper's experiments on the simulator" in
   let info = Cmd.info "past_sim" ~version:"1.0.0" ~doc in
   let subcommands =
-    all_cmd :: list_cmd :: metrics_cmd :: churn_cmd
+    all_cmd :: list_cmd :: metrics_cmd :: churn_cmd :: trace_cmd
     :: List.filter_map
          (fun (name, _) -> if name = "churn" then None else Some (run_cmd name))
          Past_experiments.Report.all

@@ -20,6 +20,7 @@ module Rng = Past_stdext.Rng
 module Text_table = Past_stdext.Text_table
 module Domain_pool = Past_stdext.Domain_pool
 module Id = Past_id.Id
+module Timeseries = Past_telemetry.Timeseries
 
 type params = {
   n : int;
@@ -56,6 +57,9 @@ type row = {
   avg_dist : float;
   cache_hit_fraction : float;  (** lookups served by a cached copy *)
   query_load_cv : float;  (** stddev/mean of per-node lookups served — load balance *)
+  trajectory : Timeseries.t;
+      (** hit rate and per-window hits sampled every 1/12 of the
+          lookups — shows caches warming up (EXP11b) *)
 }
 
 type result = { rows : row list; params : params }
@@ -106,18 +110,34 @@ let run_one params policy fill =
   Array.iter (fun node -> Node.reset_counters node) (System.nodes sys);
   let hops = Stats.create () and dist = Stats.create () in
   let found = ref 0 in
-  for _ = 1 to params.lookups do
-    let idx = Popularity.draw pop rng in
-    match ids.(idx) with
-    | None -> ()
-    | Some file_id -> (
-      let client = clients.(Rng.int rng (Array.length clients)) in
-      match Client.lookup_sync client ~file_id () with
-      | Client.Found { hops = h; dist = d; _ } ->
-        incr found;
-        Stats.add_int hops h;
-        Stats.add dist d
-      | Client.Lookup_failed -> ())
+  (* EXP11b trajectory: sampled manually at lookup-count checkpoints
+     (logical time, not sim time — the x-axis is "lookups so far"). *)
+  let cache_hits () =
+    Array.fold_left (fun acc n -> acc + Node.lookups_served_from_cache n) 0 (System.nodes sys)
+  in
+  let store_hits () =
+    Array.fold_left (fun acc n -> acc + Node.lookups_served_from_store n) 0 (System.nodes sys)
+  in
+  let trajectory = Timeseries.create () in
+  Timeseries.add_cumulative trajectory ~name:"cache_hits" cache_hits;
+  Timeseries.add_cumulative trajectory ~name:"store_hits" store_hits;
+  Timeseries.add_level trajectory ~name:"hit_fraction" (fun () ->
+      let c = cache_hits () and s = store_hits () in
+      float_of_int c /. float_of_int (Stdlib.max 1 (c + s)));
+  let checkpoint = Stdlib.max 1 (params.lookups / 12) in
+  for i = 1 to params.lookups do
+    (let idx = Popularity.draw pop rng in
+     match ids.(idx) with
+     | None -> ()
+     | Some file_id -> (
+       let client = clients.(Rng.int rng (Array.length clients)) in
+       match Client.lookup_sync client ~file_id () with
+       | Client.Found { hops = h; dist = d; _ } ->
+         incr found;
+         Stats.add_int hops h;
+         Stats.add dist d
+       | Client.Lookup_failed -> ()));
+    if i mod checkpoint = 0 then Timeseries.sample trajectory ~now:(float_of_int i)
   done;
   let served_cache =
     Array.fold_left (fun acc n -> acc + Node.lookups_served_from_cache n) 0 (System.nodes sys)
@@ -139,6 +159,7 @@ let run_one params policy fill =
     cache_hit_fraction =
       float_of_int served_cache /. float_of_int (Stdlib.max 1 (served_cache + served_store));
     query_load_cv = (if Stats.mean load > 0.0 then Stats.stddev load /. Stats.mean load else 0.0);
+    trajectory;
   }
 
 let run params =
@@ -164,6 +185,39 @@ let table { rows; _ } =
         (100.0 *. r.cache_hit_fraction)
         r.query_load_cv)
     rows;
+  t
+
+(* EXP11b: cumulative hit rate per checkpoint, one column per
+   (policy, fill) cell — shows the caches warming up under the Zipf
+   workload. *)
+let trajectory_table { rows; _ } =
+  let headers =
+    "lookups"
+    :: List.map
+         (fun r -> Printf.sprintf "%s @ %.0f%% fill" (Cache.policy_name r.policy) (100.0 *. r.fill))
+         rows
+  in
+  let t = Text_table.create headers in
+  let windows = List.map (fun r -> Array.of_list (Timeseries.windows r.trajectory)) rows in
+  let depth = List.fold_left (fun acc w -> Stdlib.max acc (Array.length w)) 0 windows in
+  for i = 0 to depth - 1 do
+    let x =
+      match windows with
+      | w :: _ when i < Array.length w -> Printf.sprintf "%.0f" w.(i).Timeseries.w_end
+      | _ -> ""
+    in
+    let cells =
+      List.map
+        (fun w ->
+          if i < Array.length w then
+            match List.assoc_opt "hit_fraction" w.(i).Timeseries.w_values with
+            | Some (Timeseries.Level f) -> Printf.sprintf "%.1f%%" (100.0 *. f)
+            | _ -> "-"
+          else "-")
+        windows
+    in
+    Text_table.add_row t (x :: cells)
+  done;
   t
 
 let print () =

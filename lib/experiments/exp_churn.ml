@@ -41,6 +41,7 @@ module Text_table = Past_stdext.Text_table
 module Registry = Past_telemetry.Registry
 module Counter = Past_telemetry.Counter
 module Histogram = Past_telemetry.Histogram
+module Timeseries = Past_telemetry.Timeseries
 
 type params = {
   n : int;
@@ -93,14 +94,18 @@ type result = {
   repair_bound : float;  (** 2 * ceil(log_2^b N) *)
   repair_ok : bool;
   final_live_nodes : int;
+  series : Timeseries.t;
+      (** per-window repair traffic, live-node count and probe latency
+          quantiles over the churn phase (EXP14b) *)
+  registry : Registry.t;  (** the run's telemetry registry (tracer, monitors) *)
 }
 
-let run params =
+let run ?trace_capacity params =
   let node_config =
     { Node.default_config with Node.verify_certificates = false; replication_delay = 200.0 }
   in
   let sys =
-    System.create ~node_config ~build:`Dynamic ~seed:params.seed ~n:params.n
+    System.create ~node_config ~build:`Dynamic ?trace_capacity ~seed:params.seed ~n:params.n
       ~node_capacity:(fun _ _ -> params.capacity)
       ()
   in
@@ -168,6 +173,9 @@ let run params =
      failed are re-probed every tick until they are found again, so a
      single run distinguishes transient misses from lost files. *)
   let probes = ref 0 and probe_failures = ref 0 in
+  (* Dedicated to the time-series below: windowed histograms are reset
+     on every sample, so this must not feed end-of-run figures. *)
+  let probe_latency = Histogram.create () in
   let failed_files : (Id.t, unit) Hashtbl.t = Hashtbl.create 8 in
   let live_client () =
     let m = Array.length clients in
@@ -184,8 +192,11 @@ let run params =
     match live_client () with
     | None -> incr probe_failures (* every access point is down right now *)
     | Some c ->
+      let issued = Net.now net in
       Client.lookup c ~retries:2 ~file_id (function
-        | Client.Found _ -> Hashtbl.remove failed_files file_id
+        | Client.Found _ ->
+          Histogram.observe probe_latency (Net.now net -. issued);
+          Hashtbl.remove failed_files file_id
         | Client.Lookup_failed ->
           incr probe_failures;
           if not (Hashtbl.mem failed_files file_id) then Hashtbl.add failed_files file_id ())
@@ -275,6 +286,25 @@ let run params =
   in
   Net.schedule net ~delay:params.scan_period scan_tick;
 
+  (* EXP14b time-series: one window every ~1/48 of the churn horizon
+     (floored at the probe period), sampled by the network's sim-time
+     sampler. Cumulative probes report per-window deltas, so the
+     repair-traffic columns are rates, not running totals. *)
+  let series = Timeseries.create () in
+  Timeseries.add_cumulative series ~name:"leaf_repair_msgs" (fun () ->
+      sent "leaf_request" + sent "leaf_reply" - leaf_msgs0);
+  Timeseries.add_cumulative series ~name:"rereplications" (fun () ->
+      Counter.value c_rereplicate - rereplicate0);
+  Timeseries.add_cumulative series ~name:"keepalives_burned" (fun () ->
+      dropped "keepalive" - keepalive_drops0);
+  Timeseries.add_cumulative series ~name:"probes" (fun () -> !probes);
+  Timeseries.add_cumulative series ~name:"probe_failures" (fun () -> !probe_failures);
+  Timeseries.add_level series ~name:"live_nodes" (fun () ->
+      float_of_int (List.length (Overlay.live_nodes (System.overlay sys))));
+  Timeseries.add_windowed_histogram series ~name:"probe_latency" probe_latency;
+  let ts_interval = Float.max params.probe_period (params.duration /. 48.0) in
+  Net.add_sampler net ~interval:ts_interval (fun now -> Timeseries.sample series ~now);
+
   (* Run the churn phase, then quiesce: pending recoveries (scheduled
      past the horizon) fire, repair finishes, and the final audit runs
      against a fully-live network. *)
@@ -360,6 +390,8 @@ let run params =
     repair_bound;
     repair_ok = per_slot <= repair_bound;
     final_live_nodes = List.length (Overlay.live_nodes (System.overlay sys));
+    series;
+    registry = reg;
   }
 
 let table r =
@@ -383,6 +415,8 @@ let table r =
   Text_table.add_rowf t "keep-alives burned on dead nodes|%d|" r.keepalives_burned;
   Text_table.add_rowf t "re-replication transfers|%d|" r.rereplications;
   t
+
+let series_table r = Timeseries.to_table ~max_rows:16 r.series
 
 let print () =
   Text_table.print

@@ -130,12 +130,14 @@ let run_storage () =
 
 let run_caching () =
   let p = Exp_caching.default_params in
+  let r = Exp_caching.run { p with Exp_caching.lookups = s_int p.Exp_caching.lookups } in
   tables
     [
       ( "EXP11: caching popular files (paper: caching cuts fetch distance, balances query \
          load)",
-        Exp_caching.table
-          (Exp_caching.run { p with Exp_caching.lookups = s_int p.Exp_caching.lookups }) );
+        Exp_caching.table r );
+      ( "EXP11b: cache hit-rate trajectory (cumulative, sampled every 1/12 of the lookups)",
+        Exp_caching.trajectory_table r );
     ]
 
 let run_balance () =
@@ -185,11 +187,17 @@ let run_churn () =
      about behaviour over time. Floor it at one full fault cycle so a
      smoke pass still exercises crash, detection and repair. *)
   let duration = Float.max 60_000.0 (p.Exp_churn.duration *. scale ()) in
-  tables
-    [
-      ( "EXP14: invariants under sustained churn (C5 repair cost, C6 availability)",
-        Exp_churn.table (Exp_churn.run { p with Exp_churn.duration }) );
-    ]
+  let r = Exp_churn.run { p with Exp_churn.duration } in
+  {
+    tables =
+      [
+        ( "EXP14: invariants under sustained churn (C5 repair cost, C6 availability)",
+          Exp_churn.table r );
+        ( "EXP14b: churn time-series (per-window repair traffic, live nodes, probe latency)",
+          Exp_churn.series_table r );
+      ];
+    trace_registry = Some r.Exp_churn.registry;
+  }
 
 let all : (string * (unit -> output)) list =
   [
@@ -335,6 +343,54 @@ let determinism_fixture () =
     Buffer.add_string buf (Text_table.render (Registry.to_table reg))
   | [] -> ());
   Buffer.contents buf
+
+(* --- causal trace export ------------------------------------------------ *)
+
+(* A small traced workload exported as Chrome trace-event JSON (open in
+   Perfetto / chrome://tracing): inserts, a mid-run crash so the export
+   contains repair spans, then lookups (the doubled pass hits caches)
+   and a reclaim. *)
+let trace_export ~out () =
+  let module System = Past_core.System in
+  let module Client = Past_core.Client in
+  let module Net = Past_simnet.Net in
+  let n = 40 in
+  let sys =
+    System.create ~seed:11 ~n ~trace_capacity:65_536 ~node_capacity:(fun _ _ -> 120_000) ()
+  in
+  let client = System.new_client sys ~quota:2_000_000 () in
+  let stored = ref [] in
+  for i = 1 to 30 do
+    let data = String.make (500 + (137 * i mod 3_000)) 'x' in
+    match Client.insert_sync client ~name:(Printf.sprintf "file-%d" i) ~data ~k:3 () with
+    | Client.Inserted { file_id; _ } -> stored := file_id :: !stored
+    | Client.Insert_failed _ -> ()
+  done;
+  System.start_maintenance sys;
+  let nodes = System.nodes sys in
+  if Array.length nodes > 1 then
+    System.kill_node sys nodes.(Array.length nodes / 2);
+  System.run ~until:(Net.now (System.net sys) +. 30_000.0) sys;
+  List.iter
+    (fun file_id -> ignore (Client.lookup_sync client ~file_id ()))
+    (!stored @ !stored);
+  (match !stored with
+  | file_id :: _ -> ignore (Client.reclaim_sync client ~file_id ())
+  | [] -> ());
+  let tracer = Registry.tracer (System.registry sys) in
+  let json = Json.to_string ~indent:true (Trace.chrome_json tracer) in
+  let oc = open_out out in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf
+    "wrote %s: %d trace event(s), %d operation span(s), %d route(s)%s\n" out
+    (Trace.total_recorded tracer)
+    (List.length (Trace.spans tracer))
+    (List.length (Trace.routes tracer))
+    (match Trace.dropped_total tracer with
+    | 0 -> ""
+    | d -> Printf.sprintf " (%d dropped: enlarge the ring)" d)
 
 (* --- metrics snapshot -------------------------------------------------- *)
 

@@ -4,6 +4,7 @@ module PNode = Past_pastry.Node
 module Rng = Past_stdext.Rng
 module Registry = Past_telemetry.Registry
 module Counter = Past_telemetry.Counter
+module Trace = Past_telemetry.Trace
 
 type insert_state = {
   name : string;
@@ -11,6 +12,7 @@ type insert_state = {
   declared_size : int option;
   k : int;
   attempt : int;
+  op : int; (* causal span spanning all attempts of this insert *)
   cert : Certificate.file;
   mutable receipts : Certificate.store_receipt list;
   mutable nacks : int;
@@ -27,6 +29,7 @@ type lookup_state = {
   mutable retries_left : int;
   mutable lk_attempt : int;
   mutable lk_retry_pending : bool;  (* a backed-off re-send is scheduled *)
+  lk_op : int; (* causal span spanning all attempts *)
   lk_cb : lookup_result -> unit;
 }
 
@@ -72,13 +75,39 @@ type t = {
   (* overlay-wide retry accounting in the system's registry *)
   c_insert_retries : Counter.t;
   c_lookup_retries : Counter.t;
+  tracer : Trace.t;
 }
 
 let card t = t.card
 let access t = t.node
 let net t = PNode.net (Node.pastry t.node)
 let now t = Net.now (net t)
-let client_ref t = { Wire.access = PNode.self (Node.pastry t.node); tag = t.tag }
+
+let client_ref t ~op = { Wire.access = PNode.self (Node.pastry t.node); tag = t.tag; op }
+
+(* Causal spans: each client operation (all attempts included) is one
+   span; the span id travels on the wire in [client_ref.op] and as the
+   [parent] of every route the operation launches. Ids are minted
+   whether or not tracing is on — minting draws no randomness and
+   branches nothing, so enabling the trace ring can never change a
+   run's behaviour. *)
+let span_start t ~op_name ~detail =
+  let span = Trace.new_span_id t.tracer in
+  Trace.record t.tracer ~time:(now t)
+    ~node:(PNode.addr (Node.pastry t.node))
+    (Trace.Span_start { span; parent = Trace.no_parent; op = op_name; detail });
+  span
+
+let span_end t span ~note =
+  Trace.record t.tracer ~time:(now t)
+    ~node:(PNode.addr (Node.pastry t.node))
+    (Trace.Span_end { span; note })
+
+let span_point t span name =
+  if Trace.enabled t.tracer then
+    Trace.record t.tracer ~time:(now t)
+      ~node:(PNode.addr (Node.pastry t.node))
+      (Trace.Point { span; name })
 
 (* Full-jitter exponential backoff: after [failures] consecutive
    failures of one operation, wait a uniform draw from
@@ -108,9 +137,9 @@ let distinct_receipts receipts =
 let rec start_insert_attempt t state =
   let cert = state.cert in
   Id.Table.replace t.inserts cert.Certificate.file_id state;
-  Node.route_client_op t.node
+  Node.route_client_op t.node ~parent:state.op
     ~key:(Id.prefix_of_file_id cert.Certificate.file_id)
-    (Wire.Insert { cert; data = state.data; client = client_ref t });
+    (Wire.Insert { cert; data = state.data; client = client_ref t ~op:state.op });
   let file_id = cert.Certificate.file_id in
   Net.schedule (net t) ~delay:t.op_timeout (fun () ->
       match Id.Table.find_opt t.inserts file_id with
@@ -145,8 +174,8 @@ and finish_insert_attempt t state ~timed_out =
             rc_cb = (fun _ -> ());
           };
         let rc = Smartcard.issue_reclaim_certificate t.card ~file_id ~now:(now t) in
-        Node.route_client_op t.node ~key:(Id.prefix_of_file_id file_id)
-          (Wire.Reclaim { rc; client = client_ref t })
+        Node.route_client_op t.node ~parent:state.op ~key:(Id.prefix_of_file_id file_id)
+          (Wire.Reclaim { rc; client = client_ref t ~op:state.op })
       end;
       if state.attempt < t.max_insert_attempts then begin
         (* File diversion (§2.3): a fresh salt gives a fresh fileId in a
@@ -157,6 +186,7 @@ and finish_insert_attempt t state ~timed_out =
         with
         | Ok cert' ->
           Counter.incr t.c_insert_retries;
+          span_point t state.op "insert_retry";
           let next =
             {
               state with
@@ -195,6 +225,15 @@ let insert t ~name ~data ?declared_size ~k cb =
   | Error (Smartcard.Quota_exceeded _) ->
     cb (Insert_failed { attempts = 0; reason = "quota exceeded" })
   | Ok cert ->
+    let op = span_start t ~op_name:"insert" ~detail:name in
+    let cb r =
+      span_end t op
+        ~note:
+          (match r with
+          | Inserted { attempts; _ } -> Printf.sprintf "inserted after %d attempt(s)" attempts
+          | Insert_failed { reason; _ } -> reason);
+      cb r
+    in
     start_insert_attempt t
       {
         name;
@@ -202,6 +241,7 @@ let insert t ~name ~data ?declared_size ~k cb =
         declared_size;
         k;
         attempt = 1;
+        op;
         cert;
         receipts = [];
         nacks = 0;
@@ -214,8 +254,8 @@ let insert t ~name ~data ?declared_size ~k cb =
 let rec send_lookup t file_id state =
   let attempt = state.lk_attempt in
   Id.Table.replace t.lookups file_id state;
-  Node.route_client_op t.node ~key:(Id.prefix_of_file_id file_id)
-    (Wire.Lookup { file_id; client = client_ref t });
+  Node.route_client_op t.node ~parent:state.lk_op ~key:(Id.prefix_of_file_id file_id)
+    (Wire.Lookup { file_id; client = client_ref t ~op:state.lk_op });
   Net.schedule (net t) ~delay:t.op_timeout (fun () ->
       match Id.Table.find_opt t.lookups file_id with
       | Some s when (not s.lk_settled) && s.lk_attempt = attempt ->
@@ -230,6 +270,7 @@ and lookup_failed_attempt t file_id state =
     if state.retries_left > 0 then begin
       state.retries_left <- state.retries_left - 1;
       Counter.incr t.c_lookup_retries;
+      span_point t state.lk_op "lookup_retry";
       state.lk_retry_pending <- true;
       Net.schedule (net t)
         ~delay:(backoff_delay t ~failures:state.lk_attempt)
@@ -248,9 +289,14 @@ and lookup_failed_attempt t file_id state =
   end
 
 let lookup t ?(retries = 0) ~file_id cb =
+  let op = span_start t ~op_name:"lookup" ~detail:(Id.short file_id) in
+  let cb r =
+    span_end t op ~note:(match r with Found _ -> "found" | Lookup_failed -> "failed");
+    cb r
+  in
   send_lookup t file_id
     { lk_settled = false; retries_left = retries; lk_attempt = 1; lk_retry_pending = false;
-      lk_cb = cb }
+      lk_op = op; lk_cb = cb }
 
 (* --- reclaim ----------------------------------------------------------- *)
 
@@ -262,13 +308,18 @@ let finish_reclaim t file_id state =
   end
 
 let reclaim t ~file_id ?expected cb =
+  let op = span_start t ~op_name:"reclaim" ~detail:(Id.short file_id) in
+  let cb (r : reclaim_result) =
+    span_end t op ~note:(Printf.sprintf "%d receipt(s)" (List.length r.receipts));
+    cb r
+  in
   let state =
     { rc_receipts = []; rc_settled = false; rc_credited = 0; credit = true; expected; rc_cb = cb }
   in
   Id.Table.replace t.reclaims file_id state;
   let rc = Smartcard.issue_reclaim_certificate t.card ~file_id ~now:(now t) in
-  Node.route_client_op t.node ~key:(Id.prefix_of_file_id file_id)
-    (Wire.Reclaim { rc; client = client_ref t });
+  Node.route_client_op t.node ~parent:op ~key:(Id.prefix_of_file_id file_id)
+    (Wire.Reclaim { rc; client = client_ref t ~op });
   Net.schedule (net t) ~delay:t.op_timeout (fun () ->
       match Id.Table.find_opt t.reclaims file_id with
       | Some s when not s.rc_settled -> finish_reclaim t file_id s
@@ -285,7 +336,7 @@ let audit t ~file_id ~data ~holder cb =
   let state = { expected_proof; au_settled = false; au_cb = cb } in
   Hashtbl.replace t.audits nonce state;
   PNode.send_direct (Node.pastry t.node) ~dst:holder
-    (Wire.Audit_challenge { file_id; nonce; client = client_ref t });
+    (Wire.Audit_challenge { file_id; nonce; client = client_ref t ~op:Trace.no_parent });
   Net.schedule (net t) ~delay:t.op_timeout (fun () ->
       match Hashtbl.find_opt t.audits nonce with
       | Some s when not s.au_settled ->
@@ -371,6 +422,7 @@ let create ~card ~access ?(op_timeout = 50_000.0) ?(max_insert_attempts = 3) ?(v
         lookups = Id.Table.create 8;
         reclaims = Id.Table.create 8;
         audits = Hashtbl.create 8;
+        tracer = Registry.tracer reg;
         c_insert_retries = Registry.counter reg "past.client.insert_retries";
         c_lookup_retries = Registry.counter reg "past.client.lookup_retries";
       }

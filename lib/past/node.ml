@@ -7,6 +7,7 @@ module Leaf_set = Past_pastry.Leaf_set
 module Registry = Past_telemetry.Registry
 module Counter = Past_telemetry.Counter
 module Histogram = Past_telemetry.Histogram
+module Trace = Past_telemetry.Trace
 
 let log_src = Logs.Src.create "past.core" ~doc:"PAST storage protocol events"
 
@@ -77,6 +78,7 @@ type t = {
   c_cache_misses : Counter.t;
   c_rereplicate : Counter.t;
   h_size : Histogram.t;
+  tracer : Trace.t;
 }
 
 let pastry t = t.pastry
@@ -128,7 +130,13 @@ let register_client t dispatch =
   Hashtbl.replace t.clients tag dispatch;
   tag
 
-let route_client_op t ~key msg = PNode.route t.pastry ~key msg
+let route_client_op ?parent t ~key msg = PNode.route ?parent t.pastry ~key msg
+
+(* Causal milestone inside a client-operation or repair span; spans
+   with id < 0 are untraced, so call sites need no guards. *)
+let point t ~span name =
+  if span >= 0 && Trace.enabled t.tracer then
+    Trace.record t.tracer ~time:(now t) ~node:(addr t) (Trace.Point { span; name })
 
 (* --- certificate checks (§2.1) ---------------------------------------- *)
 
@@ -178,6 +186,7 @@ let nack t (cert : Certificate.file) client =
         (Id.short cert.Certificate.file_id) cert.Certificate.size (Store.free t.store));
   t.refused <- t.refused + 1;
   Counter.incr t.c_reject;
+  point t ~span:client.Wire.op "replica_refused";
   to_client t client (Wire.Replica_nack { file_id = cert.Certificate.file_id; node_id = id t })
 
 (* Replica diversion (§2.3 via [12]): a full replica node asks a
@@ -216,7 +225,9 @@ let handle_store_replica t (cert : Certificate.file) data client =
   if not (file_cert_valid t cert data) then nack t cert client
   else begin
     match store_locally t cert data Store.Primary with
-    | Ok () -> ack_stored t cert client
+    | Ok () ->
+      point t ~span:client.Wire.op "replica_stored";
+      ack_stored t cert client
     | Error `Refused ->
       if t.config.replica_diversion && t.config.admission_thresholds then
         try_divert t cert data client
@@ -231,6 +242,7 @@ let handle_divert_store t (cert : Certificate.file) data client (origin : Peer.t
   else begin
     match store_locally t cert data (Store.Diverted { on_behalf = origin.Peer.id }) with
     | Ok () ->
+      point t ~span:client.Wire.op "replica_diverted_stored";
       send t origin (Wire.Divert_ack { file_id = cert.Certificate.file_id; holder = self t });
       ack_stored t cert client
     | Error `Refused -> refuse ()
@@ -241,6 +253,7 @@ let handle_divert_store t (cert : Certificate.file) data client (origin : Peer.t
 let handle_insert t (cert : Certificate.file) data client =
   if not (file_cert_valid t cert data) then nack t cert client
   else begin
+    point t ~span:client.Wire.op "insert_root";
     let key = routing_key cert in
     let rs = replica_set t ~k:cert.Certificate.replication key in
     List.iter
@@ -262,7 +275,7 @@ let serve t (cert : Certificate.file) data client ~hops ~dist ~path =
       (fun a ->
         if a <> self_addr && a <> client.Wire.access.Peer.addr then
           Net.send (net t) ~src:self_addr ~dst:a (Past_pastry.Message.Direct
-            { from = self t; payload = Wire.Cache_offer { cert; data } }))
+            { from = self t; payload = Wire.Cache_offer { cert; data; op = client.Wire.op } }))
       path
   end
 
@@ -270,6 +283,7 @@ let try_serve_locally t file_id client ~hops ~dist ~path =
   match Store.get t.store file_id with
   | Some entry ->
     t.served_store <- t.served_store + 1;
+    point t ~span:client.Wire.op "store_hit";
     serve t entry.Store.cert entry.Store.data client ~hops ~dist ~path;
     true
   | None -> (
@@ -277,6 +291,7 @@ let try_serve_locally t file_id client ~hops ~dist ~path =
     | Some (cert, data) ->
       t.served_cache <- t.served_cache + 1;
       Counter.incr t.c_cache_hits;
+      point t ~span:client.Wire.op "cache_hit";
       serve t cert data client ~hops ~dist ~path;
       true
     | None ->
@@ -299,6 +314,7 @@ let root_fetch t file_id client ~hops ~dist =
     match targets with
     | [] -> to_client t client (Wire.Lookup_miss { file_id })
     | _ ->
+      point t ~span:client.Wire.op "root_fetch";
       Id.Table.replace t.pending_fetches file_id
         { waiters = [ client ]; outstanding = List.length targets; hops; dist };
       List.iter (fun p -> send t p (Wire.Fetch { file_id; requester = self t })) targets)
@@ -312,7 +328,8 @@ let handle_fetch_reply t (cert : Certificate.file) data =
     (* Keep a cached copy: the root is a popular target for this id. *)
     ignore (Cache.offer t.cache ~cert ~data);
     List.iter
-      (fun client ->
+      (fun (client : Wire.client_ref) ->
+        point t ~span:client.Wire.op "fetch_served";
         to_client t client
           (Wire.Lookup_hit
              { cert; data; hops = pending.hops; dist = pending.dist; server = self t }))
@@ -388,6 +405,23 @@ let handle_reclaim t (rc : Certificate.reclaim) client =
 let re_replicate t =
   Log.debug (fun m -> m "%s re-replicating after leaf-set change" (Id.short (id t)));
   t.replication_scheduled <- false;
+  (* The repair pass is a causal root of its own: every Replicate it
+     pushes (and any diverted store the push causes downstream) carries
+     this span, so a repair cascade reads as one tree in the trace. The
+     span is minted lazily — quiet passes that push nothing leave no
+     trace events. *)
+  let repair_span = ref Trace.no_parent in
+  let pushes = ref 0 in
+  let repair_op () =
+    if !repair_span < 0 && Trace.enabled t.tracer then begin
+      let span = Trace.new_span_id t.tracer in
+      Trace.record t.tracer ~time:(now t) ~node:(addr t)
+        (Trace.Span_start
+           { span; parent = Trace.no_parent; op = "repair"; detail = Id.short (id t) });
+      repair_span := span
+    end;
+    !repair_span
+  in
   Store.iter t.store (fun entry ->
       match entry.Store.kind with
       | Store.Diverted _ -> ()
@@ -409,9 +443,13 @@ let re_replicate t =
             (fun (p : Peer.t) ->
               if p.Peer.addr <> addr t then begin
                 Counter.incr t.c_rereplicate;
-                send t p (Wire.Replicate { cert; data = entry.Store.data })
+                incr pushes;
+                send t p (Wire.Replicate { cert; data = entry.Store.data; op = repair_op () })
               end)
-            rs)
+            rs);
+  if !repair_span >= 0 then
+    Trace.record t.tracer ~time:(now t) ~node:(addr t)
+      (Trace.Span_end { span = !repair_span; note = Printf.sprintf "%d push(es)" !pushes })
 
 let schedule_re_replication t =
   if not t.replication_scheduled then begin
@@ -430,11 +468,11 @@ let notify_revived t =
   t.replication_scheduled <- false;
   schedule_re_replication t
 
-let handle_replicate t (cert : Certificate.file) data =
+let handle_replicate t (cert : Certificate.file) data ~op =
   if Store.mem t.store cert.Certificate.file_id then ()
   else if file_cert_valid t cert data then begin
     match store_locally t cert data Store.Primary with
-    | Ok () -> ()
+    | Ok () -> point t ~span:op "replica_restored"
     | Error `Refused ->
       (* Even recovery copies respect storage management; divert if
          allowed so the replica count recovers. *)
@@ -447,7 +485,7 @@ let handle_replicate t (cert : Certificate.file) data =
                {
                  cert;
                  data;
-                 client = { Wire.access = self t; tag = -1 };
+                 client = { Wire.access = self t; tag = -1; op };
                  origin = self t;
                })
       end
@@ -527,10 +565,10 @@ let on_direct t ~from:_ (msg : Wire.t) =
       | Some holder -> send t holder (Wire.Audit_challenge { file_id; nonce; client })
       | None -> to_client t client (Wire.Audit_proof { file_id; nonce; proof = "" })))
   | Wire.Audit_proof _ -> ()
-  | Wire.Cache_offer { cert; data } ->
+  | Wire.Cache_offer { cert; data; op } ->
     if not (Store.mem t.store cert.Certificate.file_id) then
-      ignore (Cache.offer t.cache ~cert ~data)
-  | Wire.Replicate { cert; data } -> handle_replicate t cert data
+      if Cache.offer t.cache ~cert ~data then point t ~span:op "cached_en_route"
+  | Wire.Replicate { cert; data; op } -> handle_replicate t cert data ~op
   | Wire.Insert _ | Wire.Lookup _ | Wire.Reclaim _ -> ()
 
 let attach ~pastry ~card ~brokers ~capacity ?(config = default_config) ?free_oracle () =
@@ -563,6 +601,7 @@ let attach ~pastry ~card ~brokers ~capacity ?(config = default_config) ?free_ora
       c_cache_misses = Registry.counter reg "past.cache.misses";
       c_rereplicate = Registry.counter reg "past.rereplicate.sent";
       h_size = Registry.histogram reg "past.replica.size";
+      tracer = Registry.tracer reg;
     }
   in
   sync_cache t;

@@ -60,8 +60,10 @@ val register_client : t -> (Wire.t -> unit) -> int
 (** Register a client attached to this access point; returns the tag
     that routes replies back to it. *)
 
-val route_client_op : t -> key:Past_id.Id.t -> Wire.t -> unit
-(** Inject a client operation into the overlay at this access point. *)
+val route_client_op : ?parent:int -> t -> key:Past_id.Id.t -> Wire.t -> unit
+(** Inject a client operation into the overlay at this access point.
+    [parent] is the operation's causal span id, recorded on the route's
+    trace events. *)
 
 val notify_revived : t -> unit
 (** Clear the re-replication debounce latch and schedule a fresh pass.

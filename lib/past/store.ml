@@ -3,6 +3,8 @@ module Id = Past_id.Id
 type kind = Primary | Diverted of { on_behalf : Id.t }
 type entry = { cert : Certificate.file; data : string; kind : kind }
 
+type event = Added of Certificate.file | Removed of Certificate.file
+
 type t = {
   capacity : int;
   t_pri : float;
@@ -10,12 +12,24 @@ type t = {
   mutable used : int;
   files : entry Id.Table.t;
   pointers : Past_pastry.Peer.t Id.Table.t;
+  mutable observer : (event -> unit) option;
 }
 
 let create ~capacity ?(t_pri = 0.1) ?(t_div = 0.05) () =
   if capacity < 0 then invalid_arg "Store.create: negative capacity";
   if t_pri <= 0.0 || t_div <= 0.0 then invalid_arg "Store.create: thresholds must be positive";
-  { capacity; t_pri; t_div; used = 0; files = Id.Table.create 64; pointers = Id.Table.create 16 }
+  {
+    capacity;
+    t_pri;
+    t_div;
+    used = 0;
+    files = Id.Table.create 64;
+    pointers = Id.Table.create 16;
+    observer = None;
+  }
+
+let set_observer t f = t.observer <- Some f
+let notify t ev = match t.observer with Some f -> f ev | None -> ()
 
 let capacity t = t.capacity
 let used t = t.used
@@ -29,9 +43,11 @@ let admits t ~size ~kind =
 
 let insert t ~cert ~data ~kind =
   let size = cert.Certificate.size in
+  (* A same-id replacement is not a replica-count change, so only a
+     genuinely new entry is announced to the observer. *)
   (match Id.Table.find_opt t.files cert.Certificate.file_id with
   | Some old -> t.used <- t.used - old.cert.Certificate.size
-  | None -> ());
+  | None -> notify t (Added cert));
   Id.Table.replace t.files cert.Certificate.file_id { cert; data; kind };
   t.used <- t.used + size
 
@@ -61,6 +77,7 @@ let remove t file_id =
   | Some entry ->
     Id.Table.remove t.files file_id;
     t.used <- t.used - entry.cert.Certificate.size;
+    notify t (Removed entry.cert);
     Some entry
 
 let entries t = Id.Table.fold (fun _ e acc -> e :: acc) t.files []

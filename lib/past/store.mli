@@ -47,6 +47,14 @@ val remove : t -> Past_id.Id.t -> entry option
 val entries : t -> entry list
 val iter : t -> (entry -> unit) -> unit
 
+type event = Added of Certificate.file | Removed of Certificate.file
+
+val set_observer : t -> (event -> unit) -> unit
+(** Install a mutation observer: called once per replica added to or
+    removed from the store. A same-id overwrite (idempotent
+    re-replication) is not an event. One observer per store (the
+    invariant monitors); installing replaces the previous one. *)
+
 val add_pointer : t -> file_id:Past_id.Id.t -> holder:Past_pastry.Peer.t -> unit
 val pointer : t -> Past_id.Id.t -> Past_pastry.Peer.t option
 val remove_pointer : t -> Past_id.Id.t -> unit

@@ -16,6 +16,7 @@ val create :
   ?build:[ `Static | `Dynamic ] ->
   ?loss_rate:float ->
   ?broker_count:int ->
+  ?trace_capacity:int ->
   seed:int ->
   n:int ->
   node_capacity:(int -> Past_stdext.Rng.t -> int) ->
@@ -26,7 +27,12 @@ val create :
     message-driven joins ([`Dynamic], the default for n <= 500) or
     global-knowledge construction ([`Static], default above that; see
     {!Past_pastry.Overlay}). [crypto_mode] defaults to [`Insecure]
-    (simulation-fast signatures; use [`Rsa bits] for real crypto). *)
+    (simulation-fast signatures; use [`Rsa bits] for real crypto).
+    [trace_capacity] sizes the system's causal-trace ring (see
+    {!Past_telemetry.Trace}). When invariant monitoring is active
+    (see {!Past_telemetry.Monitor.env_active}), PAST-level monitors
+    ([past.replica_count], [past.quota_conservation]) are installed
+    alongside Pastry's. *)
 
 val overlay : t -> Wire.t Past_pastry.Overlay.t
 

@@ -1,4 +1,8 @@
-type client_ref = { access : Past_pastry.Peer.t; tag : int }
+(* [op] is the causal span id of the client operation this message
+   belongs to (Trace.no_parent when untraced): it rides every request
+   through routing, replica fan-out and diversion so the whole causal
+   tree of an insert/lookup can be reconstructed from the trace ring. *)
+type client_ref = { access : Past_pastry.Peer.t; tag : int; op : int }
 
 type t =
   | Insert of { cert : Certificate.file; data : string; client : client_ref }
@@ -29,8 +33,8 @@ type t =
   | Reclaim_exec of { rc : Certificate.reclaim; client : client_ref }
   | Reclaim_ack of { receipt : Certificate.reclaim_receipt }
   | Reclaim_nack of { file_id : Past_id.Id.t; reason : string }
-  | Cache_offer of { cert : Certificate.file; data : string }
-  | Replicate of { cert : Certificate.file; data : string }
+  | Cache_offer of { cert : Certificate.file; data : string; op : int }
+  | Replicate of { cert : Certificate.file; data : string; op : int }
   | Audit_challenge of { file_id : Past_id.Id.t; nonce : string; client : client_ref }
   | Audit_proof of { file_id : Past_id.Id.t; nonce : string; proof : string }
   | To_client of { tag : int; inner : t }

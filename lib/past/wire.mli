@@ -3,9 +3,12 @@
 
     [client] fields identify the client's access node plus a per-client
     tag, so replies reach the right client object attached to that
-    node. *)
+    node. [op] is the causal span id of the client operation (see
+    {!Past_telemetry.Trace}; [Trace.no_parent] when untraced): it rides
+    every request through routing, replica fan-out and diversion so the
+    whole causal tree of an operation can be reconstructed. *)
 
-type client_ref = { access : Past_pastry.Peer.t; tag : int }
+type client_ref = { access : Past_pastry.Peer.t; tag : int; op : int }
 
 type t =
   (* insert *)
@@ -47,10 +50,12 @@ type t =
   | Reclaim_ack of { receipt : Certificate.reclaim_receipt }
   | Reclaim_nack of { file_id : Past_id.Id.t; reason : string }
   (* caching and replication maintenance *)
-  | Cache_offer of { cert : Certificate.file; data : string }
-      (** direct: a node serving a lookup populates route caches *)
-  | Replicate of { cert : Certificate.file; data : string }
-      (** direct: failure recovery / join re-replication *)
+  | Cache_offer of { cert : Certificate.file; data : string; op : int }
+      (** direct: a node serving a lookup populates route caches; [op]
+          ties the offer to the lookup span that caused it *)
+  | Replicate of { cert : Certificate.file; data : string; op : int }
+      (** direct: failure recovery / join re-replication; [op] is the
+          repair span minted by the pushing node *)
   | Audit_challenge of { file_id : Past_id.Id.t; nonce : string; client : client_ref }
       (** direct: auditor → a node that is supposed to hold the file
           (§2.1 "nodes are randomly audited to see if they can produce

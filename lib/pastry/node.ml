@@ -4,6 +4,7 @@ module Rng = Past_stdext.Rng
 module Registry = Past_telemetry.Registry
 module Counter = Past_telemetry.Counter
 module Trace = Past_telemetry.Trace
+module Monitor = Past_telemetry.Monitor
 
 (* Tracing: enable with Logs.Src.set_level (e.g. in an example or a
    debug session) — the hot paths only format when the level is on. *)
@@ -56,6 +57,7 @@ type 'a t = {
   (* Overlay-wide telemetry: all nodes of one overlay resolve the same
      registry counters, so these aggregate across the whole system. *)
   tracer : Trace.t;
+  monitors : Monitor.t;
   c_hop_leaf : Counter.t;
   c_hop_rt : Counter.t;
   c_hop_rare : Counter.t;
@@ -303,6 +305,29 @@ let stage_counter t = function
 
 let trace_event t kind = Trace.record t.tracer ~time:(Net.now t.net) ~node:t.self.Peer.addr kind
 
+(* Online hop-bound invariant (paper §2.2: expected ⌈log_2^b N⌉ hops).
+   The slack absorbs rare-case routing and stale tables during churn;
+   the monitor is a tripwire for pathological forwarding loops, not a
+   tight performance assertion. N is the network's address count — an
+   overestimate (clients and brokers hold addresses too), which only
+   loosens the bound. *)
+let hop_bound_slack = 6
+
+let check_hop_bound t (r : 'a Message.routed) =
+  if Monitor.active t.monitors then begin
+    let n = Stdlib.max 2 (Net.node_count t.net) in
+    let digits = float_of_int (1 lsl t.config.Config.b) in
+    let bound =
+      int_of_float (Float.ceil (Float.log (float_of_int n) /. Float.log digits))
+      + hop_bound_slack
+    in
+    Monitor.record_check t.monitors ~name:"pastry.hop_bound" ~now:(Net.now t.net)
+      ~detail:
+        (Printf.sprintf "route %d delivered after %d hops (bound %d, N=%d)" r.Message.trace
+           r.Message.hops bound n)
+      (r.Message.hops <= bound)
+  end
+
 let handle_routed t (r : 'a Message.routed) =
   if not t.malicious then begin
     t.fwd_count <- t.fwd_count + 1;
@@ -310,6 +335,7 @@ let handle_routed t (r : 'a Message.routed) =
     match hop with
     | Deliver ->
       Counter.incr t.c_delivered;
+      check_hop_bound t r;
       trace_event t
         (Trace.Route_deliver { route = r.Message.trace; hops = r.Message.hops; stage });
       do_deliver t r
@@ -444,6 +470,7 @@ let create ~net ~config ~rng ~id () =
       fwd_count = 0;
       ctl_count = 0;
       tracer = Registry.tracer reg;
+      monitors = Registry.monitors reg;
       c_hop_leaf = stage_hop Trace.Leaf_set;
       c_hop_rt = stage_hop Trace.Routing_table;
       c_hop_rare = stage_hop Trace.Rare_case;
@@ -467,7 +494,8 @@ let join t ~bootstrap =
   Log.info (fun m -> m "%s joining via node@%d" (Id.short t.self.Peer.id) bootstrap);
   t.joined <- false;
   let trace = Trace.new_route_id t.tracer in
-  trace_event t (Trace.Route_start { route = trace; key = Id.short t.self.Peer.id });
+  trace_event t
+    (Trace.Route_start { route = trace; parent = Trace.no_parent; key = Id.short t.self.Peer.id });
   tell t bootstrap
     (Message.Routed
        {
@@ -481,9 +509,9 @@ let join t ~bootstrap =
          payload = Message.Join_request;
        })
 
-let route t ~key payload =
+let route ?(parent = Trace.no_parent) t ~key payload =
   let trace = Trace.new_route_id t.tracer in
-  trace_event t (Trace.Route_start { route = trace; key = Id.short key });
+  trace_event t (Trace.Route_start { route = trace; parent; key = Id.short key });
   let r =
     {
       Message.key;

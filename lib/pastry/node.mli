@@ -54,9 +54,11 @@ val join : 'a t -> bootstrap:Past_simnet.Net.addr -> unit
 
 val joined : 'a t -> bool
 
-val route : 'a t -> key:Past_id.Id.t -> 'a -> unit
+val route : ?parent:int -> 'a t -> key:Past_id.Id.t -> 'a -> unit
 (** Inject an application message at this node, routed to the live node
-    whose nodeId is numerically closest to [key]. *)
+    whose nodeId is numerically closest to [key]. [parent] names the
+    causal span (see {!Past_telemetry.Trace}) this route belongs to;
+    it only annotates the trace, never the routing. *)
 
 val send_direct : 'a t -> dst:Peer.t -> 'a -> unit
 

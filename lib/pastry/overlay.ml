@@ -22,29 +22,6 @@ type 'a t = {
   mutable live_count_at : int; (* node_count at build *)
 }
 
-let create ?(config = Config.default) ?topology ?(loss_rate = 0.0) ~seed () =
-  Config.validate config;
-  let rng = Rng.create seed in
-  let topology = match topology with Some t -> t | None -> Topology.plane () in
-  let registry = Past_telemetry.Registry.create ~name:"overlay" () in
-  let net =
-    Net.create ~loss_rate ~registry ~describe:Message.describe ~rng:(Rng.split rng) ~topology ()
-  in
-  {
-    net;
-    config;
-    rng;
-    nodes_rev = [];
-    count = 0;
-    nodes_cache = None;
-    by_addr = Hashtbl.create 1024;
-    sorted = [||];
-    sorted_valid = true;
-    live = [||];
-    live_epoch = -1;
-    live_count_at = -1;
-  }
-
 let net t = t.net
 let config t = t.config
 let rng t = t.rng
@@ -102,6 +79,138 @@ let live_array t =
   t.live
 
 let live_nodes t = Array.to_list (live_array t)
+
+(* Leaf-set symmetry invariant: if live node y sits in live node x's
+   leaf set, x must sit in y's (ring-position symmetry of "among the
+   l/2 closest per side"). Any single pair is transiently asymmetric
+   while failure detection and repair converge on a churned membership,
+   so each asymmetric (holder, member) pair gets its own clock; only a
+   pair still asymmetric a full detection-plus-repair cycle after first
+   sighting is an error.
+
+   Discovery is round-robin sampled (a bounded batch of holders per
+   tick, so the predicate stays O(1) per sample regardless of overlay
+   size), but every *clocked* pair is re-verified on every tick: a pair
+   sitting exactly at the member's l/2 boundary flaps in and out of its
+   leaf set as churn elsewhere evicts and re-admits it, and a clock
+   only checked when the cursor swings by would alias those brief,
+   legitimate asymmetric phases into one long "continuous" violation.
+
+   Asymmetry is only an error when y's leaf set *covers* x's id: x may
+   legitimately hold y as a farther-than-l/2 entry (sparse knowledge on
+   an underpopulated side) while y correctly prefers l/2 strictly
+   closer members — that state is stable and correct, not a repair
+   failure. A dead endpoint ends the episode: the repair that follows
+   recovery is a fresh episode with a fresh grace. *)
+let install_monitors t =
+  let module Monitor = Past_telemetry.Monitor in
+  let monitors = Past_telemetry.Registry.monitors (Net.registry t.net) in
+  if Monitor.active monitors then begin
+    let cursor = ref 0 in
+    let tick_no = ref 0 in
+    let pair_grace =
+      4.0 *. (t.config.Config.keepalive_period +. t.config.Config.failure_timeout)
+    in
+    let pair_since : (int * int, float) Hashtbl.t = Hashtbl.create 32 in
+    Monitor.register monitors ~name:"pastry.leaf_symmetry" (fun ~now ->
+        incr tick_no;
+        let discovery = !tick_no land 3 = 0 in
+        (* Fast path for the common tick: no clocked pairs to re-verify
+           and no discovery scheduled — skip building the live array. *)
+        if (not discovery) && Hashtbl.length pair_since = 0 then Ok ()
+        else
+        let live = live_array t in
+        let n = Array.length live in
+        if n < 2 then Ok ()
+        else begin
+          (* Is the (holder, member) pair asymmetric right now? Any
+             other state — an endpoint dead or unjoined, the holder no
+             longer holding the member, the member holding the holder,
+             or the member legitimately excluding it — ends the
+             episode. *)
+          let asymmetric holder_addr member_addr =
+            match
+              (Hashtbl.find_opt t.by_addr holder_addr, Hashtbl.find_opt t.by_addr member_addr)
+            with
+            | Some holder, Some member
+              when Net.alive t.net holder_addr
+                   && Net.alive t.net member_addr
+                   && Node.joined holder && Node.joined member
+                   && Leaf_set.mem_addr (Node.leaf_set holder) member_addr ->
+              (not (Leaf_set.mem_addr (Node.leaf_set member) holder_addr))
+              && Leaf_set.covers (Node.leaf_set member) (Node.id holder)
+            | _ -> false
+          in
+          let fault = ref None in
+          let resolved =
+            Hashtbl.fold
+              (fun ((a, b) as pair) since acc ->
+                if asymmetric a b then begin
+                  if now -. since > pair_grace && !fault = None then
+                    fault :=
+                      Some
+                        (Printf.sprintf
+                           "node@%d holds node@%d in its leaf set, but not vice versa, for \
+                            %.0f sim-ms"
+                           a b (now -. since));
+                  acc
+                end
+                else pair :: acc)
+              pair_since []
+          in
+          List.iter (Hashtbl.remove pair_since) resolved;
+          (* Discovery — starting clocks for new asymmetric pairs — only
+             needs to notice a pair well within its grace window, so it
+             runs on a fraction of the ticks; the clocked re-verification
+             above stays every-tick (coarser sampling there aliases
+             brief legitimate flapping into long violations). *)
+          if discovery then begin
+            let batch = Stdlib.min n 8 in
+            for i = 0 to batch - 1 do
+              let node = live.((!cursor + i) mod n) in
+              let addr = Node.addr node in
+              if Node.joined node then
+                List.iter
+                  (fun (p : Peer.t) ->
+                    let pair = (addr, p.Peer.addr) in
+                    if (not (Hashtbl.mem pair_since pair)) && asymmetric addr p.Peer.addr then
+                      Hashtbl.replace pair_since pair now)
+                  (Leaf_set.members (Node.leaf_set node))
+            done;
+            cursor := (!cursor + batch) mod n
+          end;
+          match !fault with None -> Ok () | Some d -> Error d
+        end);
+    Net.add_sampler t.net ~interval:t.config.Config.keepalive_period (fun now ->
+        Monitor.tick monitors ~now)
+  end
+
+let create ?(config = Config.default) ?topology ?(loss_rate = 0.0) ?trace_capacity ~seed () =
+  Config.validate config;
+  let rng = Rng.create seed in
+  let topology = match topology with Some t -> t | None -> Topology.plane () in
+  let registry = Past_telemetry.Registry.create ~name:"overlay" ?trace_capacity () in
+  let net =
+    Net.create ~loss_rate ~registry ~describe:Message.describe ~rng:(Rng.split rng) ~topology ()
+  in
+  let t =
+    {
+      net;
+      config;
+      rng;
+      nodes_rev = [];
+      count = 0;
+      nodes_cache = None;
+      by_addr = Hashtbl.create 1024;
+      sorted = [||];
+      sorted_valid = true;
+      live = [||];
+      live_epoch = -1;
+      live_count_at = -1;
+    }
+  in
+  install_monitors t;
+  t
 
 let random_node t =
   let a = nodes t in

@@ -32,6 +32,12 @@ type 'msg node = {
    asymmetric links are expressible. *)
 type link = { lk_loss : float option; lk_delay_factor : float; lk_extra_delay : float }
 
+(* A periodic sim-time observer: [s_fn] runs at every multiple of
+   [s_interval] the clock crosses. Callbacks must be read-only with
+   respect to simulation state (snapshot metrics, evaluate monitors) so
+   arming one never perturbs event order or RNG draws. *)
+type sampler = { s_interval : float; mutable s_next : float; s_fn : float -> unit }
+
 type 'msg t = {
   rng : Rng.t;
   (* All fault-injection coins (loss, duplication, reordering) come
@@ -72,6 +78,7 @@ type 'msg t = {
   c_duplicated : Counter.t Lazy.t;
   latency : Histogram.t;
   by_kind : (string, kind_counters) Hashtbl.t;
+  mutable samplers : sampler list;
 }
 
 let create ?(loss_rate = 0.0) ?(latency_factor = 1.0) ?registry ?(describe = fun _ -> "msg")
@@ -105,6 +112,7 @@ let create ?(loss_rate = 0.0) ?(latency_factor = 1.0) ?registry ?(describe = fun
     c_duplicated = lazy (Registry.counter registry "net.duplicated");
     latency = Registry.histogram registry "net.link_latency";
     by_kind = Hashtbl.create 16;
+    samplers = [];
   }
 
 let registry t = t.registry
@@ -295,23 +303,62 @@ let dispatch t = function
     | Some a when not (alive t a) -> ()
     | Some _ | None -> run ())
 
+(* --- sim-time sampling -------------------------------------------------- *)
+
+let add_sampler t ~interval fn =
+  if interval <= 0.0 then invalid_arg "Net.add_sampler: interval must be positive";
+  t.samplers <- { s_interval = interval; s_next = t.clock +. interval; s_fn = fn } :: t.samplers
+
+(* Fire every sampler boundary <= limit, earliest first across all
+   samplers, advancing the clock to each boundary. Samplers are lazy:
+   no heap events are involved, so an armed sampler never keeps [run]
+   from quiescing once real events dry up. *)
+let fire_samplers t limit =
+  if t.samplers <> [] then begin
+    let continue = ref true in
+    while !continue do
+      let earliest =
+        List.fold_left
+          (fun acc s ->
+            match acc with
+            | Some (a : sampler) when a.s_next <= s.s_next -> acc
+            | _ -> Some s)
+          None t.samplers
+      in
+      match earliest with
+      | Some s when s.s_next <= limit ->
+        let at = s.s_next in
+        t.clock <- Stdlib.max t.clock at;
+        s.s_next <- at +. s.s_interval;
+        s.s_fn at
+      | _ -> continue := false
+    done
+  end
+
 let step t =
-  match Heap.pop t.events with
+  match Heap.peek t.events with
   | None -> false
-  | Some { time; action; _ } ->
-    t.clock <- Stdlib.max t.clock time;
-    dispatch t action;
-    true
+  | Some { time = next_time; _ } -> (
+    fire_samplers t next_time;
+    match Heap.pop t.events with
+    | None -> false
+    | Some { time; action; _ } ->
+      t.clock <- Stdlib.max t.clock time;
+      dispatch t action;
+      true)
 
 let run ?until ?(max_events = max_int) t =
   let continue = ref true in
   let count = ref 0 in
   while !continue && !count < max_events do
     match Heap.peek t.events with
-    | None -> continue := false
+    | None ->
+      (match until with Some limit -> fire_samplers t limit | None -> ());
+      continue := false
     | Some { time; _ } -> (
       match until with
       | Some limit when time > limit ->
+        fire_samplers t limit;
         t.clock <- limit;
         continue := false
       | _ ->

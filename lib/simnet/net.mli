@@ -109,6 +109,16 @@ val run : ?until:float -> ?max_events:int -> _ t -> unit
 (** Process queued events in time order until the queue drains, time
     exceeds [until], or [max_events] is hit. *)
 
+val add_sampler : _ t -> interval:float -> (float -> unit) -> unit
+(** Arm a periodic sim-time observer: the callback runs at every
+    multiple of [interval] the clock crosses (called with the boundary
+    time, before the event that crosses it is dispatched; [run ~until]
+    also fires boundaries up to [until] when the queue drains early).
+    Samplers are not heap events — an armed sampler never prevents
+    {!run} from quiescing — and callbacks must not mutate simulation
+    state or draw from its RNGs: they are for snapshotting telemetry
+    and evaluating invariant monitors. *)
+
 val step : _ t -> bool
 (** Process a single event; [false] when the queue is empty. *)
 

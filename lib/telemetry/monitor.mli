@@ -1,0 +1,93 @@
+(** Online invariant monitors: continuously evaluated predicates over a
+    running system, with first-violation capture.
+
+    Two styles of check share one registry:
+
+    - {e sampled} predicates ({!register}) are evaluated on every
+      {!tick} (driven by the network's sim-time sampler). A predicate
+      may be transiently false during legitimate repair (a node just
+      failed; replicas are being restored), so each monitor carries a
+      {e grace} window: only a predicate that stays false continuously
+      for longer than its grace counts as a violation.
+
+    - {e event-driven} checks ({!record_check}) are asserted inline at
+      the code path that knows the answer (e.g. the hop bound at
+      message delivery); a failed check is an immediate violation.
+
+    On the first violation of each monitor, the sim-time, the failure
+    detail, and a snippet of the causal trace (the most recent trace
+    events, if a tracer is attached) are captured for the report.
+
+    A process-wide violation count ({!global_violations}) accumulates
+    across every monitor set created while active, so a CI driver can
+    run a whole experiment suite and fail the run if any invariant
+    broke anywhere. Monitors default to inactive — activation is by
+    [create ~active:true] (see {!env_active} for the [PAST_MONITORS]
+    convention) — and inactive sets cost one branch per check site. *)
+
+type t
+
+val create : ?active:bool -> unit -> t
+(** Default [active] follows {!env_active}. *)
+
+val env_active : unit -> bool
+(** [true] when the [PAST_MONITORS] environment variable is a value
+    other than ["0"] or [""]. *)
+
+val active : t -> bool
+val attach_tracer : t -> Trace.t -> unit
+
+val register :
+  t ->
+  name:string ->
+  ?grace:float ->
+  ?interval:float ->
+  (now:float -> (unit, string) result) ->
+  unit
+(** Add a sampled predicate. [grace] (default 0) is the sim-time a
+    predicate may stay false before it becomes a violation. [interval]
+    (default 0) is the minimum sim-time between evaluations — an
+    expensive predicate whose grace window is long can opt out of
+    every-tick sampling; it is still only evaluated from {!tick}, so
+    the effective period is the tick period rounded up to [interval].
+    No-op when inactive. Re-registering a name replaces the
+    predicate. *)
+
+val tick : t -> now:float -> unit
+(** Evaluate every sampled predicate at sim-time [now]. No-op when
+    inactive. *)
+
+val record_check : t -> name:string -> now:float -> ?detail:string -> bool -> unit
+(** Event-driven assertion: [false] is an immediate violation. No-op
+    when inactive. *)
+
+type report = {
+  m_name : string;
+  m_checks : int;  (** times the predicate was evaluated *)
+  m_failures : int;  (** raw [false]/[Error] results, including in-grace ones *)
+  m_violations : int;  (** failures that exceeded the grace window *)
+  m_first_violation : float option;  (** sim-time of the first violation *)
+  m_first_detail : string;
+  m_trace_context : string;  (** recent causal-trace events at first violation *)
+}
+
+val reports : t -> report list
+(** One report per registered monitor (sampled and event-driven),
+    sorted by name. *)
+
+val violations : t -> int
+(** Total violations across this set's monitors. *)
+
+val to_table : t -> Past_stdext.Text_table.t
+val to_json : t -> Past_stdext.Json.t
+
+(** {2 Process-wide accounting (for CI gating)} *)
+
+val global_violations : unit -> int
+(** Violations across every active monitor set since process start (or
+    {!reset_global}). Thread-safe. *)
+
+val global_summaries : unit -> string list
+(** One line per distinct violated monitor, oldest first. *)
+
+val reset_global : unit -> unit

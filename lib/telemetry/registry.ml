@@ -18,13 +18,18 @@ type t = {
   metrics : (key, metric) Hashtbl.t;
   mutable order : key list; (* registration order, newest first *)
   tracer : Trace.t;
+  monitors : Monitor.t;
 }
 
-let create ?(name = "telemetry") ?trace_capacity () =
-  { name; metrics = Hashtbl.create 64; order = []; tracer = Trace.create ?capacity:trace_capacity () }
+let create ?(name = "telemetry") ?trace_capacity ?monitors_active () =
+  let tracer = Trace.create ?capacity:trace_capacity () in
+  let monitors = Monitor.create ?active:monitors_active () in
+  Monitor.attach_tracer monitors tracer;
+  { name; metrics = Hashtbl.create 64; order = []; tracer; monitors }
 
 let name t = t.name
 let tracer t = t.tracer
+let monitors t = t.monitors
 
 let normalize_labels labels =
   List.sort (fun (a, _) (b, _) -> String.compare a b) labels
@@ -114,6 +119,15 @@ let to_table t =
   let table =
     Text_table.create [ "metric"; "labels"; "type"; "value"; "mean"; "p50"; "p90"; "p99"; "max" ]
   in
+  (* Trace-ring losses surface as synthetic counter rows, but only once
+     events have actually been dropped: loss-free runs keep the exact
+     pre-existing schema (the EXP1 golden fixture depends on it). *)
+  if Trace.dropped_total t.tracer > 0 then
+    List.iter
+      (fun (kind, n) ->
+        Text_table.add_row table
+          [ "trace.dropped_events"; "kind=" ^ kind; "counter"; string_of_int n ])
+      (Trace.dropped t.tracer);
   List.iter
     (fun item ->
       let labels = labels_to_string item.i_labels in
@@ -165,9 +179,19 @@ let to_json t =
             ("p99", Json.Float s.Histogram.s_p99);
           ])
   in
+  let trace_json =
+    Json.Obj
+      [
+        ("total_recorded", Json.Int (Trace.total_recorded t.tracer));
+        ("dropped_total", Json.Int (Trace.dropped_total t.tracer));
+        ( "dropped",
+          Json.Obj (List.map (fun (k, n) -> (k, Json.Int n)) (Trace.dropped t.tracer)) );
+      ]
+  in
   Json.Obj
     [
       ("registry", Json.String t.name);
+      ("trace", trace_json);
       ("metrics", Json.List (List.map item_json (snapshot t)));
     ]
 

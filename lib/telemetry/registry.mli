@@ -5,13 +5,18 @@
     cheaply and callers elsewhere read the same instance. Every
     simulated system owns its own registry — metrics are deliberately
     not global so parallel simulations in one process never collide.
-    The registry also owns the system's trace-event ring ({!tracer}). *)
+    The registry also owns the system's trace-event ring ({!tracer})
+    and its invariant-monitor set ({!monitors}). *)
 
 type t
 
-val create : ?name:string -> ?trace_capacity:int -> unit -> t
+val create : ?name:string -> ?trace_capacity:int -> ?monitors_active:bool -> unit -> t
+(** [monitors_active] defaults to {!Monitor.env_active} (the
+    [PAST_MONITORS] environment convention). *)
+
 val name : t -> string
 val tracer : t -> Trace.t
+val monitors : t -> Monitor.t
 
 val counter : t -> ?labels:(string * string) list -> string -> Counter.t
 val gauge : t -> ?labels:(string * string) list -> string -> Gauge.t
@@ -35,5 +40,12 @@ val snapshot : t -> item list
 (** Sorted by metric name then labels. *)
 
 val to_table : t -> Past_stdext.Text_table.t
+(** Includes synthetic [trace.dropped_events] rows when (and only when)
+    the trace ring has overwritten events, so the metric schema of a
+    loss-free run is unchanged. *)
+
 val to_json : t -> Past_stdext.Json.t
+(** Always carries a ["trace"] object with [total_recorded],
+    [dropped_total] and per-kind [dropped] counts. *)
+
 val print : ?title:string -> t -> unit

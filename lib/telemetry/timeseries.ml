@@ -1,0 +1,177 @@
+(* Windowed time-series: a fixed set of probes sampled into a bounded
+   ring of windows. Probes are plain closures so the module stays
+   independent of where the values come from (registry counters, store
+   scans, ...). Cumulative probes keep the previous reading and export
+   deltas; windowed-histogram probes reset their histogram after every
+   sample so each window's quantiles cover only that window. *)
+
+module Json = Past_stdext.Json
+module Text_table = Past_stdext.Text_table
+
+type probe =
+  | P_cumulative of { read : unit -> int; mutable last : int }
+  | P_level of (unit -> float)
+  | P_hist of Histogram.t
+
+type value =
+  | Count of int
+  | Level of float
+  | Dist of { d_count : int; d_mean : float; d_p50 : float; d_p99 : float }
+
+type window = { w_start : float; w_end : float; w_values : (string * value) list }
+
+type t = {
+  capacity : int;
+  mutable probes : (string * probe) list; (* newest first *)
+  ring : window option array;
+  mutable next : int;
+  mutable total : int;
+  mutable last_time : float;
+}
+
+let create ?(capacity = 1024) () =
+  if capacity < 1 then invalid_arg "Timeseries.create: capacity must be positive";
+  { capacity; probes = []; ring = Array.make capacity None; next = 0; total = 0; last_time = 0.0 }
+
+let add t name probe =
+  if List.mem_assoc name t.probes then
+    invalid_arg (Printf.sprintf "Timeseries: series %S already registered" name);
+  t.probes <- (name, probe) :: t.probes
+
+let add_cumulative t ~name read = add t name (P_cumulative { read; last = read () })
+let add_level t ~name read = add t name (P_level read)
+let add_windowed_histogram t ~name h = add t name (P_hist h)
+
+let sample t ~now =
+  let values =
+    List.rev_map
+      (fun (name, probe) ->
+        let v =
+          match probe with
+          | P_cumulative p ->
+            let cur = p.read () in
+            let delta = cur - p.last in
+            p.last <- cur;
+            Count delta
+          | P_level read -> Level (read ())
+          | P_hist h ->
+            let s = Histogram.summary h in
+            Histogram.reset h;
+            Dist
+              {
+                d_count = s.Histogram.s_count;
+                d_mean = s.Histogram.s_mean;
+                d_p50 = s.Histogram.s_p50;
+                d_p99 = s.Histogram.s_p99;
+              }
+        in
+        (name, v))
+      t.probes
+  in
+  t.ring.(t.next) <- Some { w_start = t.last_time; w_end = now; w_values = values };
+  t.next <- (t.next + 1) mod t.capacity;
+  t.total <- t.total + 1;
+  t.last_time <- now
+
+let windows t =
+  if t.total = 0 then []
+  else begin
+    let kept = Stdlib.min t.total t.capacity in
+    let start = (t.next - kept + t.capacity) mod t.capacity in
+    List.init kept (fun i ->
+        match t.ring.((start + i) mod t.capacity) with
+        | Some w -> w
+        | None -> assert false)
+  end
+
+let window_count t = Stdlib.min t.total t.capacity
+let dropped_windows t = Stdlib.max 0 (t.total - t.capacity)
+
+(* --- export ------------------------------------------------------------ *)
+
+let value_json = function
+  | Count n -> Json.Int n
+  | Level v -> Json.Float v
+  | Dist d ->
+    Json.Obj
+      [
+        ("count", Json.Int d.d_count);
+        ("mean", Json.Float d.d_mean);
+        ("p50", Json.Float d.d_p50);
+        ("p99", Json.Float d.d_p99);
+      ]
+
+let to_json t =
+  let window_json w =
+    Json.Obj
+      [
+        ("t_start", Json.Float w.w_start);
+        ("t_end", Json.Float w.w_end);
+        ("values", Json.Obj (List.map (fun (n, v) -> (n, value_json v)) w.w_values));
+      ]
+  in
+  Json.Obj
+    [
+      ("dropped_windows", Json.Int (dropped_windows t));
+      ("windows", Json.List (List.map window_json (windows t)));
+    ]
+
+let series_names t = List.rev_map fst t.probes
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  let cols name = function
+    | P_hist _ -> [ name ^ ".count"; name ^ ".mean"; name ^ ".p50"; name ^ ".p99" ]
+    | P_cumulative _ | P_level _ -> [ name ]
+  in
+  let header =
+    "t_start" :: "t_end"
+    :: List.concat (List.rev_map (fun (n, p) -> cols n p) t.probes |> List.rev)
+  in
+  Buffer.add_string buf (String.concat "," header);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun w ->
+      let cells =
+        Printf.sprintf "%g" w.w_start :: Printf.sprintf "%g" w.w_end
+        :: List.concat_map
+             (fun (_, v) ->
+               match v with
+               | Count n -> [ string_of_int n ]
+               | Level x -> [ Printf.sprintf "%g" x ]
+               | Dist d ->
+                 [
+                   string_of_int d.d_count;
+                   Printf.sprintf "%g" d.d_mean;
+                   Printf.sprintf "%g" d.d_p50;
+                   Printf.sprintf "%g" d.d_p99;
+                 ])
+             w.w_values
+      in
+      Buffer.add_string buf (String.concat "," cells);
+      Buffer.add_char buf '\n')
+    (windows t);
+  Buffer.contents buf
+
+let to_table ?(max_rows = 24) t =
+  let table = Text_table.create ("window" :: "t_end" :: series_names t) in
+  let ws = windows t in
+  let n = List.length ws in
+  let stride = if n <= max_rows then 1 else (n + max_rows - 1) / max_rows in
+  List.iteri
+    (fun i w ->
+      if i mod stride = 0 || i = n - 1 then
+        Text_table.add_row table
+          (string_of_int (i + 1)
+          :: Printf.sprintf "%g" w.w_end
+          :: List.map
+               (fun (_, v) ->
+                 match v with
+                 | Count c -> string_of_int c
+                 | Level x -> Printf.sprintf "%.2f" x
+                 | Dist d ->
+                   Printf.sprintf "n=%d p50=%.1f p99=%.1f" d.d_count d.d_p50 d.d_p99)
+               w.w_values)
+        )
+    ws;
+  table

@@ -89,7 +89,7 @@ let wire_describe_total () =
   in
   ignore sys;
   let peer = Past_pastry.Peer.make ~id:(Id.zero ~width:128) ~addr:0 in
-  let client = { Wire.access = peer; tag = 0 } in
+  let client = { Wire.access = peer; tag = 0; op = Past_telemetry.Trace.no_parent } in
   let fid = Id.zero ~width:160 in
   let labels =
     List.map Wire.describe
