@@ -152,6 +152,101 @@ let timed f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
+(* --- event-scheduler benchmarks ---------------------------------------- *)
+
+(* Steady-state throughput of the simulator's event queue at a fixed
+   pending-set size: prefill P events, then cycle pop-one/push-one (the
+   simulator's regime — every delivery usually schedules a successor).
+   The heap pays O(log P) boxed-float comparisons per cycle; the wheel
+   is O(1) amortized, so the gap widens with P. *)
+module Sched_bench = struct
+  module Heap = Past_stdext.Heap
+  module Wheel = Past_stdext.Timing_wheel
+
+  type ev = { time : float; seq : int }
+
+  let leq a b = a.time < b.time || (a.time = b.time && a.seq <= b.seq)
+
+  (* ~1 event per tick on average, like the big simulations. *)
+  let horizon pending = float_of_int pending
+
+  (* Pre-drawn delay table so the timed loops measure the scheduler,
+     not the RNG: both sides replay the same increments. *)
+  let delays pending =
+    let rng = Rng.create 7 in
+    Array.init 65536 (fun _ -> Rng.float rng (horizon pending))
+
+  let heap_cycle ~pending ~ops =
+    let inc = delays pending in
+    let h = Heap.create ~leq in
+    let seq = ref 0 in
+    let push time =
+      Heap.push h { time; seq = !seq };
+      incr seq
+    in
+    for i = 1 to pending do
+      push inc.(i land 65535)
+    done;
+    let (), dt =
+      timed (fun () ->
+          for i = 1 to ops do
+            match Heap.pop h with
+            | Some e -> push (e.time +. Array.unsafe_get inc (i land 65535))
+            | None -> assert false
+          done)
+    in
+    float_of_int ops /. dt
+
+  let wheel_cycle ~pending ~ops =
+    let inc = delays pending in
+    let w = Wheel.create () in
+    let seq = ref 0 in
+    let push time =
+      Wheel.push w ~time ~seq:!seq { time; seq = !seq };
+      incr seq
+    in
+    for i = 1 to pending do
+      push inc.(i land 65535)
+    done;
+    let (), dt =
+      timed (fun () ->
+          for i = 1 to ops do
+            match Wheel.pop w with
+            | Some e -> push (e.time +. Array.unsafe_get inc (i land 65535))
+            | None -> assert false
+          done)
+    in
+    float_of_int ops /. dt
+
+  (* Lazy cancellation: flip the live bit, fix the count. *)
+  let cancel_cost () =
+    let rng = Rng.create 9 in
+    let n = 200_000 in
+    let w = Wheel.create () in
+    let handles =
+      Array.init n (fun seq ->
+          let time = Rng.float rng 1e6 in
+          Wheel.push_handle w ~time ~seq { time; seq })
+    in
+    let (), dt = timed (fun () -> Array.iter (Wheel.cancel w) handles) in
+    dt *. 1e9 /. float_of_int n
+
+  let run row =
+    List.iter
+      (fun pending ->
+        let ops = 300_000 in
+        let heap = heap_cycle ~pending ~ops in
+        let wheel = wheel_cycle ~pending ~ops in
+        row (Printf.sprintf "scheduler pop+push, heap (%.0e pending)" (float_of_int pending))
+          heap "ops/sec";
+        row (Printf.sprintf "scheduler pop+push, wheel (%.0e pending)" (float_of_int pending))
+          wheel "ops/sec";
+        row (Printf.sprintf "scheduler wheel/heap speedup (%.0e pending)" (float_of_int pending))
+          (wheel /. heap) "x")
+      [ 10_000; 100_000; 1_000_000 ];
+    row "scheduler cancel, wheel" (cancel_cost ()) "ns/op"
+end
+
 let run_macro () =
   print_endline "== macro-benchmarks (wall clock, single run) ==";
   let table = Past_stdext.Text_table.create [ "benchmark"; "value"; "unit" ] in
@@ -184,6 +279,9 @@ let run_macro () =
         done)
   in
   row "full PAST insert throughput (N=100, k=3)" (float_of_int inserts /. dt) "ops/sec";
+  (* Event-scheduler throughput, heap vs timing wheel — the swap every
+     big simulation's wall clock rides on. *)
+  Sched_bench.run row;
   Past_stdext.Text_table.print table
 
 let () =

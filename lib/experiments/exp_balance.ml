@@ -20,12 +20,22 @@ module PNode = Past_pastry.Node
 module Net = Past_simnet.Net
 module Stats = Past_stdext.Stats
 module Rng = Past_stdext.Rng
+module Splitmix = Past_stdext.Splitmix
 module Text_table = Past_stdext.Text_table
+module Domain_pool = Past_stdext.Domain_pool
 module Id = Past_id.Id
 
-type params = { n : int; files : int; k : int; diversity_samples : int; seed : int }
+type params = {
+  n : int;
+  files : int;
+  k : int;
+  diversity_samples : int;
+  trials : int;
+  seed : int;
+}
 
-let default_params = { n = 300; files = 2000; k = 5; diversity_samples = 300; seed = 41 }
+let default_params =
+  { n = 300; files = 2000; k = 5; diversity_samples = 300; trials = 4; seed = 41 }
 
 type result = {
   files_per_node_mean : float;
@@ -47,11 +57,13 @@ let mean_pairwise_proximity net addrs =
     addrs;
   Stats.mean s
 
-(* Deliberately sequential: one shared system and one RNG stream feed
-   both the insert phase and the diversity sampling, so there is no
-   independent per-trial unit to fan out (the per-sample work is a
-   cheap read-only probe of the built system). *)
-let run params =
+(* One trial: an isolated system (own Splitmix-derived seeds for the
+   build and for the client/file stream) that runs the full insert
+   phase and a share of the diversity samples. Each trial is a pure
+   function of (params.seed, trial index), so trials fan out over the
+   domain pool; the merge concatenates samples in trial order, keeping
+   the output byte-identical at any --jobs. *)
+let run_trial params ~trial ~diversity_samples =
   let node_config =
     {
       Node.default_config with
@@ -62,11 +74,13 @@ let run params =
     }
   in
   let sys =
-    System.create ~node_config ~build:`Static ~seed:params.seed ~n:params.n
+    System.create ~node_config ~build:`Static
+      ~seed:(Splitmix.stream_seed ~seed:params.seed ~stream:(2 * trial))
+      ~n:params.n
       ~node_capacity:(fun _ _ -> max_int / 4)
       ()
   in
-  let rng = Rng.create (params.seed + 3) in
+  let rng = Splitmix.stream ~seed:params.seed ~stream:((2 * trial) + 1) in
   let clients = Array.init 10 (fun _ -> System.new_client sys ~verify:false ~quota:max_int ()) in
   for i = 1 to params.files do
     let client = clients.(Rng.int rng (Array.length clients)) in
@@ -83,7 +97,7 @@ let run params =
   let net = System.net sys in
   let replica = Stats.create () and random = Stats.create () in
   let nodes = System.nodes sys in
-  for _ = 1 to params.diversity_samples do
+  for _ = 1 to diversity_samples do
     let key = Id.random rng ~width:Id.node_bits in
     let rs = Overlay.sorted_neighbours overlay key ~k:params.k in
     Stats.add replica (mean_pairwise_proximity net (List.map PNode.addr rs));
@@ -91,6 +105,29 @@ let run params =
     Stats.add random
       (mean_pairwise_proximity net (List.map (fun i -> Node.addr nodes.(i)) pick))
   done;
+  (per_node, replica, random)
+
+let run params =
+  let trials = Stdlib.max 1 params.trials in
+  let share t =
+    (params.diversity_samples / trials)
+    + (if t < params.diversity_samples mod trials then 1 else 0)
+  in
+  let per_trial =
+    Domain_pool.map_shared
+      (fun trial -> run_trial params ~trial ~diversity_samples:(share trial))
+      (List.init trials Fun.id)
+  in
+  (* Pool the samples in trial order: trials are same-sized worlds, so
+     concatenation is the same estimator over [trials * n] nodes and
+     [diversity_samples] probes. *)
+  let per_node = Stats.create () and replica = Stats.create () and random = Stats.create () in
+  List.iter
+    (fun (pn, rep, rnd) ->
+      List.iter (Stats.add per_node) (Stats.to_list pn);
+      List.iter (Stats.add replica) (Stats.to_list rep);
+      List.iter (Stats.add random) (Stats.to_list rnd))
+    per_trial;
   let replica_spread = Stats.mean replica and random_spread = Stats.mean random in
   {
     files_per_node_mean = Stats.mean per_node;

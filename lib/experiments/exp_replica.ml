@@ -22,11 +22,13 @@ module Neighborhood = Past_pastry.Neighborhood
 module Id = Past_id.Id
 module Net = Past_simnet.Net
 module Rng = Past_stdext.Rng
+module Splitmix = Past_stdext.Splitmix
 module Text_table = Past_stdext.Text_table
+module Domain_pool = Past_stdext.Domain_pool
 
-type params = { n : int; k : int; lookups : int; seed : int }
+type params = { n : int; k : int; lookups : int; trials : int; seed : int }
 
-let default_params = { n = 5000; k = 5; lookups = 3000; seed = 13 }
+let default_params = { n = 5000; k = 5; lookups = 3000; trials = 4; seed = 13 }
 
 type result = {
   lookups_done : int;
@@ -50,13 +52,15 @@ let known_replicas node replicas =
     Hashtbl.replace known (Node.addr node) ();
   Hashtbl.fold (fun a () acc -> a :: acc) known []
 
-(* Deliberately sequential: unlike the swept experiments there is a
-   single overlay whose lookups share one RNG stream and per-lookup
-   install_apps/run cycles — splitting it across domains would change
-   the measured distribution, not just the schedule. The domain pool
-   parallelizes the other suites around this one. *)
-let run params =
-  let overlay : Harness.probe Overlay.t = Overlay.create ~seed:params.seed () in
+(* One trial: an isolated overlay (own Splitmix-derived seed, own RNG
+   stream, own net) measuring [lookups] redirect ranks. The trial is a
+   pure function of (params.seed, trial index), so trials fan out over
+   the domain pool and merge in submission order — byte-identical
+   output at any --jobs. *)
+let run_trial params ~trial ~lookups =
+  let overlay : Harness.probe Overlay.t =
+    Overlay.create ~seed:(Splitmix.stream_seed ~seed:params.seed ~stream:trial) ()
+  in
   Overlay.build_static ~rt_samples:64 overlay ~n:params.n;
   let net = Overlay.net overlay in
   let rng = Overlay.rng overlay in
@@ -107,7 +111,7 @@ let run params =
         Node.deliver = (fun ~key:_ _ _ -> record (Node.addr node));
         forward = (fun ~key:_ _ _ -> redirect node);
       });
-  for _ = 1 to params.lookups do
+  for _ = 1 to lookups do
     let key = Id.random rng ~width:Id.node_bits in
     let replicas = Overlay.sorted_neighbours overlay key ~k:params.k in
     current_replicas := Array.of_list (List.map Node.addr replicas);
@@ -119,8 +123,28 @@ let run params =
     | `Continue -> Node.route src ~key ());
     Overlay.run overlay
   done;
+  (!done_count, rank_counts)
+
+let run params =
+  let trials = Stdlib.max 1 params.trials in
+  (* Spread the lookup budget over the trials (earlier trials take the
+     remainder), then sum the per-trial rank histograms. *)
+  let share t = (params.lookups / trials) + (if t < params.lookups mod trials then 1 else 0) in
+  let per_trial =
+    Domain_pool.map_shared
+      (fun trial -> run_trial params ~trial ~lookups:(share trial))
+      (List.init trials Fun.id)
+  in
+  let rank_counts = Array.make params.k 0 in
+  let done_count =
+    List.fold_left
+      (fun acc (n, counts) ->
+        Array.iteri (fun i c -> rank_counts.(i) <- rank_counts.(i) + c) counts;
+        acc + n)
+      0 per_trial
+  in
   {
-    lookups_done = !done_count;
+    lookups_done = done_count;
     hit_nearest = rank_counts.(0);
     hit_two_nearest = rank_counts.(0) + (if params.k > 1 then rank_counts.(1) else 0);
     rank_counts;

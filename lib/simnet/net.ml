@@ -1,5 +1,6 @@
 module Rng = Past_stdext.Rng
 module Heap = Past_stdext.Heap
+module Timing_wheel = Past_stdext.Timing_wheel
 module Registry = Past_telemetry.Registry
 module Counter = Past_telemetry.Counter
 module Histogram = Past_telemetry.Histogram
@@ -38,6 +39,23 @@ type link = { lk_loss : float option; lk_delay_factor : float; lk_extra_delay : 
    arming one never perturbs event order or RNG draws. *)
 type sampler = { s_interval : float; mutable s_next : float; s_fn : float -> unit }
 
+(* The event queue behind the simulator. Both schedulers pop in exactly
+   the same (time, seq) order — ascending time, FIFO among ties — so
+   the choice never affects delivery order, only its cost: the wheel is
+   O(1) amortized per event where the heap pays O(log pending). The
+   heap stays available as a fallback and as the equivalence oracle
+   (PAST_SCHED=heap; see test_timing_wheel.ml). *)
+type 'msg queue =
+  | Q_heap of 'msg event Heap.t
+  | Q_wheel of 'msg event Timing_wheel.t
+
+type sched = [ `Heap | `Wheel ]
+
+let default_sched () : sched =
+  match Sys.getenv_opt "PAST_SCHED" with
+  | Some "heap" -> `Heap
+  | Some "wheel" | Some _ | None -> `Wheel
+
 type 'msg t = {
   rng : Rng.t;
   (* All fault-injection coins (loss, duplication, reordering) come
@@ -54,7 +72,7 @@ type 'msg t = {
   mutable reorder_max_delay : float;
   mutable clock : float;
   mutable seq : int;
-  events : 'msg event Heap.t;
+  events : 'msg queue;
   (* Addresses are dense ints handed out by [register], so the node
      table is a growable array: O(1) lookup with no hashing on the
      per-message hot path. Slots [next_addr..] are None. *)
@@ -79,12 +97,27 @@ type 'msg t = {
   latency : Histogram.t;
   by_kind : (string, kind_counters) Hashtbl.t;
   mutable samplers : sampler list;
+  (* Earliest armed sampler boundary (infinity when none): lets [step]
+     skip the per-event sampler scan with one float compare. *)
+  mutable next_sample : float;
 }
 
 let create ?(loss_rate = 0.0) ?(latency_factor = 1.0) ?registry ?(describe = fun _ -> "msg")
-    ~rng ~topology () =
+    ?sched ~rng ~topology () =
   if loss_rate < 0.0 || loss_rate > 1.0 then invalid_arg "Net.create: loss_rate must be in [0,1]";
   let registry = match registry with Some r -> r | None -> Registry.create ~name:"net" () in
+  let sched = match sched with Some s -> s | None -> default_sched () in
+  let events =
+    match sched with
+    | `Heap ->
+      Q_heap
+        (Heap.create ~leq:(fun a b -> a.time < b.time || (a.time = b.time && a.seq <= b.seq)))
+    | `Wheel ->
+      (* tick = 1 time unit (~1 simulated ms): link latencies span tens
+         to hundreds of ticks, so concurrent traffic spreads across
+         slots and per-slot populations stay small. *)
+      Q_wheel (Timing_wheel.create ~tick:1.0 ())
+  in
   {
     rng;
     fault_rng = Rng.derive rng ~salt:0x6661756c74 (* "fault" *);
@@ -96,7 +129,7 @@ let create ?(loss_rate = 0.0) ?(latency_factor = 1.0) ?registry ?(describe = fun
     reorder_max_delay = 0.0;
     clock = 0.0;
     seq = 0;
-    events = Heap.create ~leq:(fun a b -> a.time < b.time || (a.time = b.time && a.seq <= b.seq));
+    events;
     nodes = Array.make 1024 None;
     next_addr = 0;
     liveness_epoch = 0;
@@ -113,9 +146,11 @@ let create ?(loss_rate = 0.0) ?(latency_factor = 1.0) ?registry ?(describe = fun
     latency = Registry.histogram registry "net.link_latency";
     by_kind = Hashtbl.create 16;
     samplers = [];
+    next_sample = Float.infinity;
   }
 
 let registry t = t.registry
+let scheduler t = match t.events with Q_heap _ -> `Heap | Q_wheel _ -> `Wheel
 
 let kind_counters t kind =
   match Hashtbl.find_opt t.by_kind kind with
@@ -160,7 +195,15 @@ let node t addr =
 
 let push t time action =
   t.seq <- t.seq + 1;
-  Heap.push t.events { time; seq = t.seq; action }
+  match t.events with
+  | Q_heap h -> Heap.push h { time; seq = t.seq; action }
+  | Q_wheel w -> Timing_wheel.push w ~time ~seq:t.seq { time; seq = t.seq; action }
+
+let[@inline] peek_event t =
+  match t.events with Q_heap h -> Heap.peek h | Q_wheel w -> Timing_wheel.peek w
+
+let[@inline] pop_event t =
+  match t.events with Q_heap h -> Heap.pop h | Q_wheel w -> Timing_wheel.pop w
 
 let proximity t a b = Topology.proximity t.topology (node t a).location (node t b).location
 let max_proximity t = Topology.max_proximity t.topology
@@ -248,7 +291,11 @@ let send t ~src ~dst msg =
     drop t kinds
   end
   else begin
-    let link = Hashtbl.find_opt t.links (src, dst) in
+    (* Fault-free runs never populate [links]; skip the tuple
+       allocation and hash on that hot path. *)
+    let link =
+      if Hashtbl.length t.links = 0 then None else Hashtbl.find_opt t.links (src, dst)
+    in
     let loss =
       match link with Some { lk_loss = Some l; _ } -> l | _ -> t.loss_rate
     in
@@ -307,12 +354,16 @@ let dispatch t = function
 
 let add_sampler t ~interval fn =
   if interval <= 0.0 then invalid_arg "Net.add_sampler: interval must be positive";
-  t.samplers <- { s_interval = interval; s_next = t.clock +. interval; s_fn = fn } :: t.samplers
+  let next = t.clock +. interval in
+  t.samplers <- { s_interval = interval; s_next = next; s_fn = fn } :: t.samplers;
+  if next < t.next_sample then t.next_sample <- next
 
 (* Fire every sampler boundary <= limit, earliest first across all
    samplers, advancing the clock to each boundary. Samplers are lazy:
-   no heap events are involved, so an armed sampler never keeps [run]
-   from quiescing once real events dry up. *)
+   no queue events are involved, so an armed sampler never keeps [run]
+   from quiescing once real events dry up. The cached [next_sample]
+   minimum makes the common no-boundary-crossed case one float compare
+   per event (see [step]). *)
 let fire_samplers t limit =
   if t.samplers <> [] then begin
     let continue = ref true in
@@ -331,16 +382,18 @@ let fire_samplers t limit =
         t.clock <- Stdlib.max t.clock at;
         s.s_next <- at +. s.s_interval;
         s.s_fn at
-      | _ -> continue := false
+      | _ ->
+        (match earliest with Some s -> t.next_sample <- s.s_next | None -> ());
+        continue := false
     done
   end
 
 let step t =
-  match Heap.peek t.events with
+  match peek_event t with
   | None -> false
   | Some { time = next_time; _ } -> (
-    fire_samplers t next_time;
-    match Heap.pop t.events with
+    if next_time >= t.next_sample then fire_samplers t next_time;
+    match pop_event t with
     | None -> false
     | Some { time; action; _ } ->
       t.clock <- Stdlib.max t.clock time;
@@ -351,7 +404,7 @@ let run ?until ?(max_events = max_int) t =
   let continue = ref true in
   let count = ref 0 in
   while !continue && !count < max_events do
-    match Heap.peek t.events with
+    match peek_event t with
     | None ->
       (match until with Some limit -> fire_samplers t limit | None -> ());
       continue := false

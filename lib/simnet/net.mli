@@ -12,11 +12,20 @@ val pp_addr : Format.formatter -> addr -> unit
 
 type 'msg t
 
+type sched = [ `Heap | `Wheel ]
+(** Event-queue implementation: a hierarchical timing wheel (O(1)
+    amortized per event, the default) or the binary heap (O(log
+    pending), kept as a fallback and as the wheel's equivalence
+    oracle). Both pop in exactly the same (time, seq) order, so the
+    choice never changes delivery order — golden outputs are
+    byte-identical under either. *)
+
 val create :
   ?loss_rate:float ->
   ?latency_factor:float ->
   ?registry:Past_telemetry.Registry.t ->
   ?describe:('msg -> string) ->
+  ?sched:sched ->
   rng:Past_stdext.Rng.t ->
   topology:Topology.t ->
   unit ->
@@ -27,6 +36,9 @@ val create :
     delay. [registry] (default: a fresh one) receives the network's
     telemetry; [describe] names a message's kind for the per-kind
     send/deliver/drop counters (default: every message is ["msg"]).
+    [sched] picks the event-queue implementation (default: the
+    [PAST_SCHED] environment variable — ["heap"] for the binary-heap
+    fallback, anything else or unset for the timing wheel).
 
     Fault-injection determinism: all fault coins (loss, duplication,
     reordering) are drawn from a dedicated stream derived from [rng]
@@ -35,6 +47,9 @@ val create :
     differ only in fault knobs therefore consume the main RNG stream
     identically: every message delivered in both runs is delivered at
     the same time. *)
+
+val scheduler : _ t -> sched
+(** Which event-queue implementation this network runs on. *)
 
 val registry : _ t -> Past_telemetry.Registry.t
 (** The telemetry registry this network reports into. One registry per

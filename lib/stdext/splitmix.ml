@@ -1,0 +1,65 @@
+(* SplitMix64 (Steele, Lea & Flood, OOPSLA 2014). The generator is a
+   counter [state] advanced by an odd [gamma], finalized through a
+   variance-maximizing bit mixer; splitting draws a fresh (state,
+   gamma) pair from the parent, and counter-based stream derivation
+   mixes (seed, stream) directly so streams are a pure function of the
+   pair. *)
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* MurmurHash3-style 64-bit finalizers, as in the reference SplitMix. *)
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 33)) 0xFF51AFD7ED558CCDL in
+  let z = mul (logxor z (shift_right_logical z 33)) 0xC4CEB9FE1A85EC53L in
+  logxor z (shift_right_logical z 33)
+
+let mix64variant13 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let popcount64 x =
+  let c = ref 0 in
+  for i = 0 to 63 do
+    if Int64.logand (Int64.shift_right_logical x i) 1L = 1L then incr c
+  done;
+  !c
+
+(* Gammas must be odd; reject ones whose bit transitions are too
+   regular (the reference implementation's 24-transition floor). *)
+let mix_gamma z =
+  let z = Int64.logor (mix64variant13 z) 1L in
+  let transitions = popcount64 (Int64.logxor z (Int64.shift_right_logical z 1)) in
+  if transitions < 24 then Int64.logxor z 0xAAAAAAAAAAAAAAAAL else z
+
+type t = { mutable state : int64; gamma : int64 }
+
+let create seed = { state = mix64 (Int64.of_int seed); gamma = golden_gamma }
+
+let next_raw t =
+  t.state <- Int64.add t.state t.gamma;
+  t.state
+
+let next_int64 t = mix64 (next_raw t)
+
+let split t =
+  let state = mix64 (next_raw t) in
+  let gamma = mix_gamma (next_raw t) in
+  { state; gamma }
+
+(* Counter-based stream derivation: two finalizer rounds over the pair,
+   with distinct mixers so (seed, stream) and (stream, seed) collide
+   only accidentally. Masked to 62 bits so the result is a valid
+   non-negative OCaml int on 64-bit platforms. *)
+let stream_seed ~seed ~stream =
+  let mixed =
+    mix64
+      (Int64.logxor
+         (mix64variant13 (Int64.add (Int64.of_int seed) golden_gamma))
+         (Int64.mul (Int64.of_int stream) 0xC4CEB9FE1A85EC53L))
+  in
+  Int64.to_int (Int64.logand mixed 0x3FFFFFFFFFFFFFFFL)
+
+let stream ~seed ~stream = Rng.create (stream_seed ~seed ~stream)

@@ -1,0 +1,37 @@
+(** SplitMix64: counter-based, splittable pseudo-random streams.
+
+    The experiments' domain-parallel loops need one independent RNG
+    stream per row/trial, derived purely from [(seed, stream index)] —
+    never from a shared generator whose draw order would depend on
+    scheduling. This module provides that derivation (the same idea the
+    churn engine uses for fault-coin streams): stream [k] of seed [s]
+    is a pure function of [(s, k)], so any subset of streams can be
+    created in any order, on any domain, and always produces the same
+    values. Based on Steele, Lea & Flood, "Fast splittable pseudorandom
+    number generators" (OOPSLA 2014). *)
+
+type t
+
+val create : int -> t
+(** [create seed] is the root SplitMix64 generator for [seed], using
+    the golden-ratio increment. *)
+
+val next_int64 : t -> int64
+(** Next 64 pseudo-random bits; advances the generator. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a child generator whose stream
+    is decorrelated from the parent's remaining stream (fresh state and
+    gamma, both drawn from the parent). *)
+
+val stream_seed : seed:int -> stream:int -> int
+(** [stream_seed ~seed ~stream] is a 62-bit non-negative seed mixed
+    from the pair — deterministic, order-independent, and decorrelated
+    across both arguments. Feed it to any seeded component (e.g.
+    [Overlay.create ~seed]) to give row [stream] of an experiment its
+    own world. *)
+
+val stream : seed:int -> stream:int -> Rng.t
+(** [stream ~seed ~stream] is [Rng.create (stream_seed ~seed ~stream)]:
+    an independent xoshiro generator for one row/trial of a
+    fanned-out experiment. *)

@@ -56,7 +56,7 @@ let locality_beats_baseline () =
 
 let replica_prefers_near () =
   let open Past_experiments.Exp_replica in
-  let r = run { n = 800; k = 5; lookups = 300; seed = 9 } in
+  let r = run { n = 800; k = 5; lookups = 300; trials = 2; seed = 9 } in
   let total = float_of_int (max 1 r.lookups_done) in
   let nearest = float_of_int r.hit_nearest /. total in
   check Alcotest.bool
@@ -162,11 +162,37 @@ let caching_reduces_distance () =
 
 let balance_and_diversity () =
   let open Past_experiments.Exp_balance in
-  let r = run { n = 120; files = 600; k = 3; diversity_samples = 100; seed = 15 } in
+  let r = run { n = 120; files = 600; k = 3; diversity_samples = 100; trials = 2; seed = 15 } in
   check Alcotest.bool "mean files per node ~ files*k/n" true
     (abs_float (r.files_per_node_mean -. (600.0 *. 3.0 /. 120.0)) < 2.0);
   check Alcotest.bool "replica sets as diverse as random" true
     (abs_float (r.diversity_ratio -. 1.0) < 0.15)
+
+(* The two formerly-sequential experiments now fan out per-trial over
+   the domain pool; their rendered JSON must be byte-identical at any
+   pool width (the order-preserving merge plus Splitmix per-trial
+   streams are what make that true). *)
+let replica_balance_jobs_byte_identical () =
+  let module Domain_pool = Past_stdext.Domain_pool in
+  let module Json = Past_stdext.Json in
+  let module Text_table = Past_stdext.Text_table in
+  let render jobs =
+    Domain_pool.set_jobs jobs;
+    let r =
+      Past_experiments.Exp_replica.(
+        table (run { n = 400; k = 5; lookups = 120; trials = 4; seed = 21 }))
+    in
+    let b =
+      Past_experiments.Exp_balance.(
+        table
+          (run { n = 100; files = 400; k = 3; diversity_samples = 80; trials = 4; seed = 22 }))
+    in
+    Json.to_string (Json.List [ Text_table.to_json r; Text_table.to_json b ])
+  in
+  let j1 = render 1 in
+  let j4 = render 4 in
+  Domain_pool.set_jobs (Domain_pool.default_jobs ());
+  check Alcotest.string "replica+balance JSON identical at jobs 1 vs 4" j1 j4
 
 let quota_economy_conserves () =
   let open Past_experiments.Exp_quota in
@@ -217,5 +243,6 @@ let suite =
       "EXP9/10 storage policy ordering" => storage_policies_ordered;
       "EXP11 caching reduces distance" => caching_reduces_distance;
       "EXP12 balance and diversity" => balance_and_diversity;
+      "EXP5/12 row-parallel --jobs byte-identical" => replica_balance_jobs_byte_identical;
       "EXP13 quota economy" => quota_economy_conserves;
     ] )

@@ -1,0 +1,112 @@
+(* SplitMix64 stream derivation: the properties the parallel
+   experiment loops rely on. A trial's world must be a pure function of
+   (seed, stream index) — same values in any order, on any domain — and
+   distinct streams must be decorrelated enough that trials are
+   independent samples. *)
+
+module Splitmix = Past_stdext.Splitmix
+module Rng = Past_stdext.Rng
+
+let check = Alcotest.check
+let ( => ) name f = Alcotest.test_case name `Quick f
+
+let draws rng n = List.init n (fun _ -> Rng.bits64 rng)
+
+let arb_seed = QCheck.int_range 0 0x3FFFFFFF
+let arb_stream = QCheck.int_range 0 10_000
+
+(* Purity: stream_seed is a function of the pair, no hidden state. *)
+let qcheck_stream_seed_pure =
+  QCheck.Test.make ~name:"stream_seed is pure and in range" ~count:500
+    (QCheck.pair arb_seed arb_stream) (fun (seed, stream) ->
+      let a = Splitmix.stream_seed ~seed ~stream in
+      let b = Splitmix.stream_seed ~seed ~stream in
+      (* 62-bit mask: non-negative by construction on 64-bit ints. *)
+      a = b && a >= 0)
+
+(* Determinism: the derived Rng replays identically however many times
+   the stream is re-created (what makes --jobs N byte-identical). *)
+let qcheck_stream_deterministic =
+  QCheck.Test.make ~name:"derived stream replays identically" ~count:200
+    (QCheck.pair arb_seed arb_stream) (fun (seed, stream) ->
+      draws (Splitmix.stream ~seed ~stream) 32 = draws (Splitmix.stream ~seed ~stream) 32)
+
+(* Cross-stream independence: distinct stream indices of the same seed
+   give decorrelated generators (and distinct seeds decorrelate the
+   same index). 64 draws colliding more than a few times would mean
+   correlated trials. *)
+let qcheck_cross_stream_independent =
+  QCheck.Test.make ~name:"distinct streams are decorrelated" ~count:200
+    (QCheck.triple arb_seed arb_stream arb_stream) (fun (seed, i, j) ->
+      QCheck.assume (i <> j);
+      let a = Splitmix.stream ~seed ~stream:i and b = Splitmix.stream ~seed ~stream:j in
+      let same = ref 0 in
+      for _ = 1 to 64 do
+        if Rng.bits64 a = Rng.bits64 b then incr same
+      done;
+      !same < 4)
+
+let qcheck_cross_seed_independent =
+  QCheck.Test.make ~name:"same stream of distinct seeds decorrelated" ~count:200
+    (QCheck.triple arb_seed arb_seed arb_stream) (fun (s1, s2, stream) ->
+      QCheck.assume (s1 <> s2);
+      let a = Splitmix.stream ~seed:s1 ~stream and b = Splitmix.stream ~seed:s2 ~stream in
+      let same = ref 0 in
+      for _ = 1 to 64 do
+        if Rng.bits64 a = Rng.bits64 b then incr same
+      done;
+      !same < 4)
+
+(* Re-split determinism: rebuilding the root from the same seed and
+   re-splitting yields the same children, in the same order; the
+   children's streams differ from each other and from the parent's
+   continuation. *)
+let resplit_deterministic () =
+  let sm_draws sm n = List.init n (fun _ -> Splitmix.next_int64 sm) in
+  let a = Splitmix.create 1234 in
+  let a1 = Splitmix.split a in
+  let a2 = Splitmix.split a in
+  let b = Splitmix.create 1234 in
+  let b1 = Splitmix.split b in
+  let b2 = Splitmix.split b in
+  check (Alcotest.list Alcotest.int64) "first child replays" (sm_draws a1 16) (sm_draws b1 16);
+  check (Alcotest.list Alcotest.int64) "second child replays" (sm_draws a2 16) (sm_draws b2 16);
+  check (Alcotest.list Alcotest.int64) "parent continuation replays" (sm_draws a 16)
+    (sm_draws b 16)
+
+let split_diverges () =
+  let a = Splitmix.create 77 in
+  let child = Splitmix.split a in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Splitmix.next_int64 a = Splitmix.next_int64 child then incr same
+  done;
+  check Alcotest.bool "child stream differs from parent" true (!same < 4)
+
+(* Bit balance: across many streams, the first draw's bits should be
+   roughly half ones — a cheap screen against a degenerate mixer. *)
+let bit_balance () =
+  let ones = ref 0 in
+  for stream = 0 to 999 do
+    let v = Rng.bits64 (Splitmix.stream ~seed:5 ~stream) in
+    for b = 0 to 63 do
+      if Int64.logand (Int64.shift_right_logical v b) 1L = 1L then incr ones
+    done
+  done;
+  let frac = float_of_int !ones /. 64_000.0 in
+  check Alcotest.bool
+    (Printf.sprintf "ones fraction %.3f in [0.48, 0.52]" frac)
+    true
+    (frac > 0.48 && frac < 0.52)
+
+let suite =
+  ( "splitmix",
+    [
+      "re-split determinism" => resplit_deterministic;
+      "split diverges from parent" => split_diverges;
+      "bit balance across streams" => bit_balance;
+      QCheck_alcotest.to_alcotest qcheck_stream_seed_pure;
+      QCheck_alcotest.to_alcotest qcheck_stream_deterministic;
+      QCheck_alcotest.to_alcotest qcheck_cross_stream_independent;
+      QCheck_alcotest.to_alcotest qcheck_cross_seed_independent;
+    ] )
