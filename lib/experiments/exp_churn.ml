@@ -54,6 +54,10 @@ type params = {
   probe_period : float;
   scan_period : float;
   seed : int;
+  net_jobs : int option;
+      (** worker domains for the parallel simulation engine; [None]
+          defers to [PAST_NET_JOBS] (default 1). The engine and hence
+          the result bytes are identical at any worker count. *)
 }
 
 let default_params =
@@ -68,6 +72,7 @@ let default_params =
     probe_period = 2_500.0;
     scan_period = 1_000.0;
     seed = 4;
+    net_jobs = None;
   }
 
 type result = {
@@ -104,8 +109,19 @@ let run ?trace_capacity params =
   let node_config =
     { Node.default_config with Node.verify_certificates = false; replication_delay = 200.0 }
   in
+  (* This experiment always runs on the parallel engine over a
+     transit-stub topology (the topology's locality gives the engine
+     its lookahead). The worker count only sets wall-clock parallelism:
+     `Domains 1 and `Domains 4 produce byte-identical results. *)
+  let jobs =
+    match params.net_jobs with
+    | Some j -> j
+    | None -> ( match Net.env_jobs () with Some j -> j | None -> 1)
+  in
   let sys =
-    System.create ~node_config ~build:`Dynamic ?trace_capacity ~seed:params.seed ~n:params.n
+    System.create ~node_config ~build:`Dynamic ?trace_capacity
+      ~topology:(Past_simnet.Topology.transit_stub ())
+      ~par:(`Domains jobs) ~seed:params.seed ~n:params.n
       ~node_capacity:(fun _ _ -> params.capacity)
       ()
   in
@@ -366,6 +382,7 @@ let run ?trace_capacity params =
     +. 1_000.0
   in
   let summary = Histogram.summary deficit_hist in
+  System.shutdown sys;
   {
     n = params.n;
     duration = params.duration;

@@ -32,6 +32,10 @@ type params = {
   mean_downtime : float;
   min_live_fraction : float;  (** churn keeps at least this many nodes up *)
   seed : int;
+  net_jobs : int option;
+      (** worker domains for the parallel simulation engine; [None]
+          defers to [PAST_NET_JOBS] (default 1). The engine and hence
+          the result is identical at any worker count. *)
 }
 
 let default_params =
@@ -45,6 +49,7 @@ let default_params =
     mean_downtime = 8_000.0;
     min_live_fraction = 0.5;
     seed = 97;
+    net_jobs = None;
   }
 
 type result = {
@@ -65,8 +70,17 @@ let run params =
   let node_config =
     { Node.default_config with Node.verify_certificates = false; replication_delay = 200.0 }
   in
+  (* Parallel engine over a transit-stub topology (see Exp_churn): the
+     worker count never changes the result, only the wall clock. *)
+  let jobs =
+    match params.net_jobs with
+    | Some j -> j
+    | None -> ( match Net.env_jobs () with Some j -> j | None -> 1)
+  in
   let sys =
-    System.create ~node_config ~build:`Dynamic ~seed:params.seed ~n:params.n
+    System.create ~node_config ~build:`Dynamic
+      ~topology:(Past_simnet.Topology.transit_stub ())
+      ~par:(`Domains jobs) ~seed:params.seed ~n:params.n
       ~node_capacity:(fun _ _ -> params.capacity)
       ()
   in
@@ -186,6 +200,7 @@ let run params =
       if c >= params.k then incr fully;
       if c >= 1 then incr available)
     live_entries;
+  System.shutdown sys;
   {
     inserts_attempted = !inserts_attempted;
     inserts_ok = !inserts_ok;

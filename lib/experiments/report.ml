@@ -344,6 +344,35 @@ let determinism_fixture () =
   | [] -> ());
   Buffer.contents buf
 
+(* A fixed-seed, scaled-down EXP14 churn run on the parallel engine,
+   rendered with its time-series and telemetry snapshot. The companion
+   golden file (test/exp14_churn.golden) is captured at [jobs = 1] —
+   the windowed engine run inline, i.e. the sequential oracle — and
+   the test suite asserts the same bytes at [jobs = 4]: the proof that
+   worker count never leaks into results. Regenerate with
+   `dune exec test/gen/gen_golden.exe -- churn > test/exp14_churn.golden`
+   only when intentionally changing engine or experiment behavior. *)
+let churn_fixture ?jobs () =
+  let params =
+    {
+      Exp_churn.default_params with
+      Exp_churn.n = 40;
+      files = 24;
+      duration = 60_000.0;
+      net_jobs = jobs;
+    }
+  in
+  let r = Exp_churn.run params in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "EXP14 (golden: n=40 files=24 duration=60000 seed=4, parallel engine)\n";
+  Buffer.add_string buf (Text_table.render (Exp_churn.table r));
+  Buffer.add_string buf "\nchurn time-series\n";
+  Buffer.add_string buf (Text_table.render (Exp_churn.series_table r));
+  Buffer.add_string buf "\ntelemetry snapshot\n";
+  Buffer.add_string buf (Text_table.render (Registry.to_table r.Exp_churn.registry));
+  Buffer.contents buf
+
 (* --- causal trace export ------------------------------------------------ *)
 
 (* A small traced workload exported as Chrome trace-event JSON (open in

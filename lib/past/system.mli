@@ -17,6 +17,7 @@ val create :
   ?loss_rate:float ->
   ?broker_count:int ->
   ?trace_capacity:int ->
+  ?par:Past_simnet.Net.par ->
   seed:int ->
   n:int ->
   node_capacity:(int -> Past_stdext.Rng.t -> int) ->
@@ -32,7 +33,10 @@ val create :
     {!Past_telemetry.Trace}). When invariant monitoring is active
     (see {!Past_telemetry.Monitor.env_active}), PAST-level monitors
     ([past.replica_count], [past.quota_conservation]) are installed
-    alongside Pastry's. *)
+    alongside Pastry's. [par] selects the network's execution engine
+    (see {!Past_simnet.Net.create}); under [`Domains _] the free-space
+    oracle answers from a per-window snapshot so results are
+    independent of the worker count. *)
 
 val overlay : t -> Wire.t Past_pastry.Overlay.t
 
@@ -93,3 +97,8 @@ val start_maintenance : t -> unit
     injecting failures; bound subsequent runs with [~until]). *)
 
 val stop_maintenance : t -> unit
+
+val shutdown : t -> unit
+(** Tear down the network's worker-domain pool, if any (see
+    {!Past_simnet.Net.shutdown}). Idempotent; call when done with a
+    [`Domains _] system. *)

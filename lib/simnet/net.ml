@@ -1,9 +1,11 @@
 module Rng = Past_stdext.Rng
 module Heap = Past_stdext.Heap
 module Timing_wheel = Past_stdext.Timing_wheel
+module Domain_pool = Past_stdext.Domain_pool
 module Registry = Past_telemetry.Registry
 module Counter = Past_telemetry.Counter
 module Histogram = Past_telemetry.Histogram
+module Context = Past_telemetry.Context
 
 type addr = int
 
@@ -25,6 +27,7 @@ and 'msg action =
 type 'msg node = {
   location : Topology.location;
   handler : addr -> 'msg -> unit;
+  n_ctx : int;  (** partition context (0 in a sequential net) *)
   mutable up : bool;
   mutable group : int;  (** partition group; delivery requires src.group = dst.group *)
 }
@@ -56,6 +59,34 @@ let default_sched () : sched =
   | Some "heap" -> `Heap
   | Some "wheel" | Some _ | None -> `Wheel
 
+(* --- intra-run parallelism -------------------------------------------- *)
+
+(* [`Domains k] selects the conservative bounded-lag parallel engine
+   (see DESIGN.md §6f): nodes are partitioned into [num_partitions]
+   fixed contexts by topology locality, every per-event resource
+   (event queue, clock, RNG streams, sequence counter) is per-context,
+   and the run advances in lock-step windows whose width is the
+   minimum cross-partition link delay (the lookahead). [k] only sets
+   how many domains execute the partitions of a window — the
+   partitioning, the schedule and every RNG draw are identical for any
+   [k], so output is byte-identical at jobs 1, 2, 4, ...
+
+   [`Seq] is the original single-queue engine, byte-for-byte. The two
+   engines draw RNG streams differently (one stream vs one per
+   partition), so their outputs differ from each other; the oracle for
+   the parallel engine is itself at [`Domains 1]. *)
+type par = [ `Seq | `Domains of int ]
+
+let num_partitions = 8
+
+let env_jobs () =
+  match Sys.getenv_opt "PAST_NET_JOBS" with
+  | None | Some "" -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with Some k when k >= 1 -> Some k | _ -> None)
+
+let default_par () : par = match env_jobs () with Some k -> `Domains k | None -> `Seq
+
 type 'msg t = {
   rng : Rng.t;
   (* All fault-injection coins (loss, duplication, reordering) come
@@ -70,9 +101,35 @@ type 'msg t = {
   mutable duplication_rate : float;
   mutable reorder_rate : float;
   mutable reorder_max_delay : float;
-  mutable clock : float;
-  mutable seq : int;
-  events : 'msg queue;
+  mutable clock : float;  (** environment (context-0) clock; global max in step mode *)
+  mutable seq : int;  (** sequential-engine event sequence *)
+  (* One queue in a sequential net; one per context (0 = environment,
+     1..num_partitions = partitions) in a parallel net. Only the owning
+     context touches its queue during a window. *)
+  queues : 'msg queue array;
+  is_ctx : bool;  (** parallel (windowed) engine? *)
+  jobs : int;  (** worker domains a window may use (1 = inline) *)
+  mutable pool : Domain_pool.t option;  (** lazily created at the first parallel window *)
+  (* Per-context state, index 0 aliasing the legacy fields ([rng],
+     [fault_rng], [clock]) so the sequential engine is untouched. *)
+  w_rngs : Rng.t array;
+  w_fault_rngs : Rng.t array;
+  w_clocks : float array;
+  w_oseq : int array;  (** per-context event sequence; packed as [seq*16 lor ctx] *)
+  mutable in_window : bool;
+  (* Cross-partition events created inside a window, newest first, as
+     [(dst_ctx, event)]; merged into the destination queues at the
+     window barrier in fixed context order. *)
+  outboxes : (int * 'msg event) list array;
+  (* Environment callbacks deferred from inside a window (see
+     {!defer_to_env}), newest first, tagged with the context clock at
+     deferral; replayed at the barrier in (time, context, order). *)
+  deferred : (float * (unit -> unit)) list array;
+  mutable barrier_hooks : (unit -> unit) list;  (** run after every window, registration order *)
+  mutable links_epoch : int;  (** bumped on any link-override change *)
+  mutable la_epoch : int;
+  mutable la : float;  (** cached lookahead, valid while [la_epoch = links_epoch] *)
+  min_cross_prox : float;
   (* Addresses are dense ints handed out by [register], so the node
      table is a growable array: O(1) lookup with no hashing on the
      per-message hot path. Slots [next_addr..] are None. *)
@@ -86,41 +143,69 @@ type 'msg t = {
   c_sent : Counter.t;
   c_delivered : Counter.t;
   c_dropped : Counter.t;
-  (* Fault-specific counters are lazy: they only appear in the registry
-     once the corresponding fault actually occurs, so fault-free runs
-     export exactly the same telemetry schema as before the
-     fault-injection engine existed (the EXP1 golden fixture compares
-     registry snapshots byte-for-byte). *)
-  c_src_down : Counter.t Lazy.t;
-  c_partition : Counter.t Lazy.t;
-  c_duplicated : Counter.t Lazy.t;
+  (* Fault-specific counters materialize on first use: they only appear
+     in the registry once the corresponding fault actually occurs, so
+     fault-free runs export exactly the same telemetry schema as before
+     the fault-injection engine existed (the EXP1 golden fixture
+     compares registry snapshots byte-for-byte). Atomics rather than
+     Lazy.t because partition domains may race the first use. *)
+  c_src_down : Counter.t option Atomic.t;
+  c_partition : Counter.t option Atomic.t;
+  c_duplicated : Counter.t option Atomic.t;
   latency : Histogram.t;
-  by_kind : (string, kind_counters) Hashtbl.t;
+  (* Per-context kind caches: each context resolves kinds through its
+     own table (no locking on the send hot path); the registry behind
+     them is shared and mutex-guarded, so every table caches the same
+     counter triples. *)
+  by_kind : (string, kind_counters) Hashtbl.t array;
   mutable samplers : sampler list;
   (* Earliest armed sampler boundary (infinity when none): lets [step]
      skip the per-event sampler scan with one float compare. *)
   mutable next_sample : float;
 }
 
+let make_queue (sched : sched) =
+  match sched with
+  | `Heap ->
+    Q_heap (Heap.create ~leq:(fun a b -> a.time < b.time || (a.time = b.time && a.seq <= b.seq)))
+  | `Wheel ->
+    (* tick = 1 time unit (~1 simulated ms): link latencies span tens
+       to hundreds of ticks, so concurrent traffic spreads across
+       slots and per-slot populations stay small. *)
+    Q_wheel (Timing_wheel.create ~tick:1.0 ())
+
 let create ?(loss_rate = 0.0) ?(latency_factor = 1.0) ?registry ?(describe = fun _ -> "msg")
-    ?sched ~rng ~topology () =
-  if loss_rate < 0.0 || loss_rate > 1.0 then invalid_arg "Net.create: loss_rate must be in [0,1]";
+    ?sched ?par ~rng ~topology () =
+  if loss_rate < 0.0 || loss_rate > 1.0 then
+    invalid_arg (Printf.sprintf "Net.create: loss_rate must be in [0,1] (got %g)" loss_rate);
+  if latency_factor <= 0.0 then
+    invalid_arg
+      (Printf.sprintf
+         "Net.create: latency_factor must be > 0 (got %g) — a non-positive factor means zero \
+          lookahead and would livelock the windowed engine"
+         latency_factor);
   let registry = match registry with Some r -> r | None -> Registry.create ~name:"net" () in
   let sched = match sched with Some s -> s | None -> default_sched () in
-  let events =
-    match sched with
-    | `Heap ->
-      Q_heap
-        (Heap.create ~leq:(fun a b -> a.time < b.time || (a.time = b.time && a.seq <= b.seq)))
-    | `Wheel ->
-      (* tick = 1 time unit (~1 simulated ms): link latencies span tens
-         to hundreds of ticks, so concurrent traffic spreads across
-         slots and per-slot populations stay small. *)
-      Q_wheel (Timing_wheel.create ~tick:1.0 ())
+  let par = match par with Some p -> p | None -> default_par () in
+  let is_ctx, jobs =
+    match par with
+    | `Seq -> (false, 1)
+    | `Domains k ->
+      if k < 1 then invalid_arg (Printf.sprintf "Net.create: `Domains %d (need >= 1)" k);
+      (true, Stdlib.min k num_partitions)
+  in
+  let nctx = if is_ctx then 1 + num_partitions else 1 in
+  let fault_rng = Rng.derive rng ~salt:0x6661756c74 (* "fault" *) in
+  let w_rngs =
+    Array.init nctx (fun c -> if c = 0 then rng else Rng.derive rng ~salt:(0x63747800 lor c))
+  in
+  let w_fault_rngs =
+    Array.init nctx (fun c ->
+        if c = 0 then fault_rng else Rng.derive rng ~salt:(0x6661756c740 lor c))
   in
   {
     rng;
-    fault_rng = Rng.derive rng ~salt:0x6661756c74 (* "fault" *);
+    fault_rng;
     topology;
     loss_rate;
     latency_factor;
@@ -129,7 +214,22 @@ let create ?(loss_rate = 0.0) ?(latency_factor = 1.0) ?registry ?(describe = fun
     reorder_max_delay = 0.0;
     clock = 0.0;
     seq = 0;
-    events;
+    queues = Array.init nctx (fun _ -> make_queue sched);
+    is_ctx;
+    jobs;
+    pool = None;
+    w_rngs;
+    w_fault_rngs;
+    w_clocks = Array.make nctx 0.0;
+    w_oseq = Array.make nctx 0;
+    in_window = false;
+    outboxes = Array.make nctx [];
+    deferred = Array.make nctx [];
+    barrier_hooks = [];
+    links_epoch = 0;
+    la_epoch = -1;
+    la = 0.0;
+    min_cross_prox = Topology.min_cross_proximity topology;
     nodes = Array.make 1024 None;
     next_addr = 0;
     liveness_epoch = 0;
@@ -140,20 +240,50 @@ let create ?(loss_rate = 0.0) ?(latency_factor = 1.0) ?registry ?(describe = fun
     c_sent = Registry.counter registry "net.sent";
     c_delivered = Registry.counter registry "net.delivered";
     c_dropped = Registry.counter registry "net.dropped";
-    c_src_down = lazy (Registry.counter registry ~labels:[ ("cause", "src_down") ] "net.dropped");
-    c_partition = lazy (Registry.counter registry ~labels:[ ("cause", "partition") ] "net.dropped");
-    c_duplicated = lazy (Registry.counter registry "net.duplicated");
+    c_src_down = Atomic.make None;
+    c_partition = Atomic.make None;
+    c_duplicated = Atomic.make None;
     latency = Registry.histogram registry "net.link_latency";
-    by_kind = Hashtbl.create 16;
+    by_kind = Array.init nctx (fun _ -> Hashtbl.create 16);
     samplers = [];
     next_sample = Float.infinity;
   }
 
 let registry t = t.registry
-let scheduler t = match t.events with Q_heap _ -> `Heap | Q_wheel _ -> `Wheel
+let scheduler t = match t.queues.(0) with Q_heap _ -> `Heap | Q_wheel _ -> `Wheel
+let parallelism t : par = if t.is_ctx then `Domains t.jobs else `Seq
+let in_window t = t.in_window
+let on_barrier t fn = t.barrier_hooks <- t.barrier_hooks @ [ fn ]
 
-let kind_counters t kind =
-  match Hashtbl.find_opt t.by_kind kind with
+let shutdown t =
+  match t.pool with
+  | Some p ->
+    t.pool <- None;
+    Domain_pool.shutdown p
+  | None -> ()
+
+(* First-use counters (atomic double-checked publication; the registry
+   mutex makes concurrent first uses resolve to the same counter). *)
+let force_counter t cell ~labels name =
+  match Atomic.get cell with
+  | Some c -> c
+  | None ->
+    let c = Registry.counter t.registry ~labels name in
+    Atomic.set cell (Some c);
+    c
+
+let c_src_down t = force_counter t t.c_src_down ~labels:[ ("cause", "src_down") ] "net.dropped"
+
+let c_partition t =
+  force_counter t t.c_partition ~labels:[ ("cause", "partition") ] "net.dropped"
+
+let c_duplicated t = force_counter t t.c_duplicated ~labels:[] "net.duplicated"
+
+let[@inline] current_ctx t = if t.is_ctx then Context.current () else 0
+
+let kind_counters t ~ctx kind =
+  let tbl = Array.unsafe_get t.by_kind ctx in
+  match Hashtbl.find_opt tbl kind with
   | Some k -> k
   | None ->
     let labels = [ ("kind", kind) ] in
@@ -164,26 +294,12 @@ let kind_counters t kind =
         k_dropped = Registry.counter t.registry ~labels "net.dropped";
       }
     in
-    Hashtbl.replace t.by_kind kind k;
+    Hashtbl.replace tbl kind k;
     k
 
 let counters_for_kind t kind =
-  let k = kind_counters t kind in
+  let k = kind_counters t ~ctx:0 kind in
   (Counter.value k.k_sent, Counter.value k.k_delivered, Counter.value k.k_dropped)
-
-let register t ~handler =
-  let addr = t.next_addr in
-  t.next_addr <- addr + 1;
-  if addr >= Array.length t.nodes then begin
-    let grown = Array.make (2 * Array.length t.nodes) None in
-    Array.blit t.nodes 0 grown 0 (Array.length t.nodes);
-    t.nodes <- grown
-  end;
-  t.nodes.(addr) <-
-    Some { location = Topology.sample t.topology t.rng; handler; up = true; group = 0 };
-  addr
-
-let now t = t.clock
 
 let[@inline] node_opt t addr =
   if addr < 0 || addr >= t.next_addr then None else Array.unsafe_get t.nodes addr
@@ -193,17 +309,85 @@ let node t addr =
   | Some n -> n
   | None -> invalid_arg (Printf.sprintf "Net: unknown address %d" addr)
 
-let push t time action =
-  t.seq <- t.seq + 1;
-  match t.events with
-  | Q_heap h -> Heap.push h { time; seq = t.seq; action }
-  | Q_wheel w -> Timing_wheel.push w ~time ~seq:t.seq { time; seq = t.seq; action }
+let register t ~handler =
+  let addr = t.next_addr in
+  t.next_addr <- addr + 1;
+  if addr >= Array.length t.nodes then begin
+    let grown = Array.make (2 * Array.length t.nodes) None in
+    Array.blit t.nodes 0 grown 0 (Array.length t.nodes);
+    t.nodes <- grown
+  end;
+  let location = Topology.sample t.topology t.rng in
+  let n_ctx =
+    if not t.is_ctx then 0
+    else
+      (* Locality-clustered when the topology supports it (transit-stub:
+         by transit domain, so every cross-partition hop crosses the
+         transit core and the lookahead floor is large); otherwise by
+         address, which partitions evenly but with zero lookahead. *)
+      match Topology.partition_hint t.topology location with
+      | Some h -> 1 + (h land (num_partitions - 1))
+      | None -> 1 + (addr land (num_partitions - 1))
+  in
+  t.nodes.(addr) <- Some { location; handler; n_ctx; up = true; group = 0 };
+  addr
 
-let[@inline] peek_event t =
-  match t.events with Q_heap h -> Heap.peek h | Q_wheel w -> Timing_wheel.peek w
+let now t =
+  if t.is_ctx then begin
+    let c = Context.current () in
+    if c = 0 then t.clock else Array.unsafe_get t.w_clocks c
+  end
+  else t.clock
 
-let[@inline] pop_event t =
-  match t.events with Q_heap h -> Heap.pop h | Q_wheel w -> Timing_wheel.pop w
+let rng t = if t.is_ctx then t.w_rngs.(Context.current ()) else t.rng
+
+(* --- event queues ------------------------------------------------------ *)
+
+let[@inline] q_peek q =
+  match q with Q_heap h -> Heap.peek h | Q_wheel w -> Timing_wheel.peek w
+
+let[@inline] q_pop q = match q with Q_heap h -> Heap.pop h | Q_wheel w -> Timing_wheel.pop w
+
+let[@inline] q_push q ev =
+  match q with
+  | Q_heap h -> Heap.push h ev
+  | Q_wheel w -> Timing_wheel.push w ~time:ev.time ~seq:ev.seq ev
+
+(* Route an event to its destination context's queue. The creating
+   context assigns the sequence number from its own counter (packed
+   with the context index so sequences are globally unique and
+   scheduling-independent); cross-context events created inside a
+   window go to the outbox and join the destination queue at the
+   barrier. *)
+let push_event t ~ctx time action =
+  if not t.is_ctx then begin
+    t.seq <- t.seq + 1;
+    q_push t.queues.(0) { time; seq = t.seq; action }
+  end
+  else begin
+    let dst_ctx =
+      match action with
+      | Deliver { dst; _ } -> (node t dst).n_ctx
+      | Thunk { owner = Some a; _ } ->
+        (* A node's own timers live in its partition. A thunk armed for
+           a *different* partition's node from inside a partition (no
+           current caller does this) falls back to the environment
+           queue: correct, just serialized. *)
+        let oc = (node t a).n_ctx in
+        if ctx = 0 || oc = ctx then oc else 0
+      | Thunk { owner = None; _ } ->
+        (* Ownerless thunks stay in the scheduling context: environment
+           timers stay in the environment; a handler's retry timers run
+           in its own partition. *)
+        ctx
+    in
+    let o = t.w_oseq.(ctx) + 1 in
+    t.w_oseq.(ctx) <- o;
+    let ev = { time; seq = (o lsl 4) lor ctx; action } in
+    if t.in_window && dst_ctx <> ctx then
+      t.outboxes.(ctx) <- (dst_ctx, ev) :: t.outboxes.(ctx)
+    else q_push t.queues.(dst_ctx) ev
+  end
 
 let proximity t a b = Topology.proximity t.topology (node t a).location (node t b).location
 let max_proximity t = Topology.max_proximity t.topology
@@ -215,35 +399,48 @@ let drop t kinds =
 (* --- fault knobs ------------------------------------------------------- *)
 
 let set_loss_rate t rate =
-  if rate < 0.0 || rate > 1.0 then invalid_arg "Net.set_loss_rate: rate must be in [0,1]";
+  if rate < 0.0 || rate > 1.0 then
+    invalid_arg (Printf.sprintf "Net.set_loss_rate: rate must be in [0,1] (got %g)" rate);
   t.loss_rate <- rate
 
 let loss_rate t = t.loss_rate
 
 let set_duplication_rate t rate =
   if rate < 0.0 || rate > 1.0 then
-    invalid_arg "Net.set_duplication_rate: rate must be in [0,1]";
+    invalid_arg (Printf.sprintf "Net.set_duplication_rate: rate must be in [0,1] (got %g)" rate);
   t.duplication_rate <- rate
 
 let set_reorder t ~rate ~max_extra_delay =
-  if rate < 0.0 || rate > 1.0 then invalid_arg "Net.set_reorder: rate must be in [0,1]";
-  if max_extra_delay < 0.0 then invalid_arg "Net.set_reorder: negative max_extra_delay";
+  if rate < 0.0 || rate > 1.0 then
+    invalid_arg (Printf.sprintf "Net.set_reorder: rate must be in [0,1] (got %g)" rate);
+  if max_extra_delay < 0.0 then
+    invalid_arg
+      (Printf.sprintf "Net.set_reorder: negative max_extra_delay (got %g)" max_extra_delay);
   t.reorder_rate <- rate;
   t.reorder_max_delay <- max_extra_delay
 
 let set_link t ~src ~dst ?loss ?(delay_factor = 1.0) ?(extra_delay = 0.0) () =
   (match loss with
-  | Some l when l < 0.0 || l > 1.0 -> invalid_arg "Net.set_link: loss must be in [0,1]"
+  | Some l when l < 0.0 || l > 1.0 ->
+    invalid_arg (Printf.sprintf "Net.set_link: loss must be in [0,1] (got %g)" l)
   | _ -> ());
-  if delay_factor < 0.0 || extra_delay < 0.0 then
-    invalid_arg "Net.set_link: negative delay";
+  if delay_factor < 0.0 then
+    invalid_arg (Printf.sprintf "Net.set_link: negative delay_factor (got %g)" delay_factor);
+  if extra_delay < 0.0 then
+    invalid_arg (Printf.sprintf "Net.set_link: negative extra_delay (got %g)" extra_delay);
   ignore (node t src);
   ignore (node t dst);
   Hashtbl.replace t.links (src, dst)
-    { lk_loss = loss; lk_delay_factor = delay_factor; lk_extra_delay = extra_delay }
+    { lk_loss = loss; lk_delay_factor = delay_factor; lk_extra_delay = extra_delay };
+  t.links_epoch <- t.links_epoch + 1
 
-let clear_link t ~src ~dst = Hashtbl.remove t.links (src, dst)
-let clear_links t = Hashtbl.reset t.links
+let clear_link t ~src ~dst =
+  Hashtbl.remove t.links (src, dst);
+  t.links_epoch <- t.links_epoch + 1
+
+let clear_links t =
+  Hashtbl.reset t.links;
+  t.links_epoch <- t.links_epoch + 1
 
 let partition t groups =
   (* Every listed node goes into the group of its list; unlisted nodes
@@ -269,25 +466,58 @@ let[@inline] same_side t src dst =
 
 let reachable t ~src ~dst = same_side t src dst
 
+(* --- lookahead --------------------------------------------------------- *)
+
+(* The minimum delay any cross-partition message can incur: the
+   topology's cross-partition proximity floor through the latency
+   factor, further lowered by any cross-partition per-link override
+   (delay_factor/extra_delay can shrink a link below the floor).
+   Recomputed only when the link table changes; link mutations happen
+   in the environment (between windows), so the value is stable within
+   a window. Jitter and reorder delays only add, so this is a true
+   lower bound — the conservation check at every barrier enforces it. *)
+let lookahead t =
+  if t.la_epoch <> t.links_epoch then begin
+    let base = t.latency_factor *. t.min_cross_prox in
+    let la =
+      Hashtbl.fold
+        (fun (src, dst) lk acc ->
+          match (node_opt t src, node_opt t dst) with
+          | Some a, Some b when a.n_ctx <> b.n_ctx ->
+            let base_delay =
+              t.latency_factor *. Topology.proximity t.topology a.location b.location
+            in
+            Float.min acc ((lk.lk_delay_factor *. base_delay) +. lk.lk_extra_delay)
+          | _ -> acc)
+        t.links base
+    in
+    t.la <- la;
+    t.la_epoch <- t.links_epoch
+  end;
+  t.la
+
 (* --- send -------------------------------------------------------------- *)
 
 let send t ~src ~dst msg =
-  let kinds = kind_counters t (t.describe msg) in
+  let ctx = current_ctx t in
+  let kinds = kind_counters t ~ctx (t.describe msg) in
   Counter.incr t.c_sent;
   Counter.incr kinds.k_sent;
+  let main_rng = Array.unsafe_get t.w_rngs ctx in
+  let fault_rng = Array.unsafe_get t.w_fault_rngs ctx in
   (* The jitter draw comes first and happens for every send — even ones
      that are then lost, partitioned away or suppressed — so the main
      RNG stream advances identically no matter which fault knobs are
      on: loss-vs-baseline runs see the same downstream draw sequence. *)
-  let jitter = Rng.float t.rng 0.01 in
+  let jitter = Rng.float main_rng 0.01 in
   if not (node t src).up then begin
     (* A node taken down mid-event-cascade must not emit: silent
        departure means no goodbye traffic (see Past.System.kill_node). *)
-    Counter.incr (Lazy.force t.c_src_down);
+    Counter.incr (c_src_down t);
     drop t kinds
   end
   else if not (same_side t src dst) then begin
-    Counter.incr (Lazy.force t.c_partition);
+    Counter.incr (c_partition t);
     drop t kinds
   end
   else begin
@@ -296,10 +526,8 @@ let send t ~src ~dst msg =
     let link =
       if Hashtbl.length t.links = 0 then None else Hashtbl.find_opt t.links (src, dst)
     in
-    let loss =
-      match link with Some { lk_loss = Some l; _ } -> l | _ -> t.loss_rate
-    in
-    if loss > 0.0 && Rng.chance t.fault_rng loss then drop t kinds
+    let loss = match link with Some { lk_loss = Some l; _ } -> l | _ -> t.loss_rate in
+    if loss > 0.0 && Rng.chance fault_rng loss then drop t kinds
     else begin
       let base = t.latency_factor *. proximity t src dst in
       let latency =
@@ -309,17 +537,18 @@ let send t ~src ~dst msg =
         | None -> base
       in
       let latency =
-        if t.reorder_rate > 0.0 && Rng.chance t.fault_rng t.reorder_rate then
-          latency +. Rng.float t.fault_rng t.reorder_max_delay
+        if t.reorder_rate > 0.0 && Rng.chance fault_rng t.reorder_rate then
+          latency +. Rng.float fault_rng t.reorder_max_delay
         else latency
       in
+      let clock = if ctx = 0 then t.clock else Array.unsafe_get t.w_clocks ctx in
       Histogram.observe t.latency (latency +. jitter);
-      push t (t.clock +. latency +. jitter) (Deliver { src; dst; msg; kinds });
-      if t.duplication_rate > 0.0 && Rng.chance t.fault_rng t.duplication_rate then begin
-        Counter.incr (Lazy.force t.c_duplicated);
-        let dup_jitter = Rng.float t.fault_rng 0.01 in
-        push t
-          (t.clock +. latency +. jitter +. dup_jitter)
+      push_event t ~ctx (clock +. latency +. jitter) (Deliver { src; dst; msg; kinds });
+      if t.duplication_rate > 0.0 && Rng.chance fault_rng t.duplication_rate then begin
+        Counter.incr (c_duplicated t);
+        let dup_jitter = Rng.float fault_rng 0.01 in
+        push_event t ~ctx
+          (clock +. latency +. jitter +. dup_jitter)
           (Deliver { src; dst; msg; kinds })
       end
     end
@@ -327,7 +556,9 @@ let send t ~src ~dst msg =
 
 let schedule ?owner t ~delay run =
   if delay < 0.0 then invalid_arg "Net.schedule: negative delay";
-  push t (t.clock +. delay) (Thunk { owner; run })
+  let ctx = current_ctx t in
+  let clock = if ctx = 0 then t.clock else Array.unsafe_get t.w_clocks ctx in
+  push_event t ~ctx (clock +. delay) (Thunk { owner; run })
 
 let set_alive t addr up =
   t.liveness_epoch <- t.liveness_epoch + 1;
@@ -388,23 +619,25 @@ let fire_samplers t limit =
     done
   end
 
-let step t =
-  match peek_event t with
+(* --- sequential engine ------------------------------------------------- *)
+
+let step_seq t =
+  match q_peek t.queues.(0) with
   | None -> false
   | Some { time = next_time; _ } -> (
     if next_time >= t.next_sample then fire_samplers t next_time;
-    match pop_event t with
+    match q_pop t.queues.(0) with
     | None -> false
     | Some { time; action; _ } ->
       t.clock <- Stdlib.max t.clock time;
       dispatch t action;
       true)
 
-let run ?until ?(max_events = max_int) t =
+let run_seq ?until ?(max_events = max_int) t =
   let continue = ref true in
   let count = ref 0 in
   while !continue && !count < max_events do
-    match peek_event t with
+    match q_peek t.queues.(0) with
     | None ->
       (match until with Some limit -> fire_samplers t limit | None -> ());
       continue := false
@@ -415,32 +648,275 @@ let run ?until ?(max_events = max_int) t =
         t.clock <- limit;
         continue := false
       | _ ->
-        ignore (step t);
+        ignore (step_seq t);
         incr count)
   done
 
-let rng t = t.rng
+(* --- windowed (conservative parallel) engine --------------------------- *)
+
+(* The queue holding the globally minimal (time, seq) event. Sequences
+   are globally unique (packed with the creating context), so the
+   minimum is unambiguous. *)
+let global_min t =
+  let best = ref None in
+  for c = 0 to Array.length t.queues - 1 do
+    match q_peek t.queues.(c) with
+    | Some ev -> (
+      match !best with
+      | Some (_, (b : _ event)) when b.time < ev.time || (b.time = ev.time && b.seq <= ev.seq)
+        -> ()
+      | _ -> best := Some (c, ev))
+    | None -> ()
+  done;
+  !best
+
+(* Process one event in exact global (time, seq) order — the windowed
+   engine's sequential fallback, used by [step], by bounded [run
+   ~max_events], and when the lookahead is degenerate. Dispatches with
+   the owning context current, so RNG draws and telemetry shards are
+   the same as when the event runs inside a window. *)
+let step_ctx t =
+  match global_min t with
+  | None -> false
+  | Some (c, { time = next_time; _ }) -> (
+    if next_time >= t.next_sample then fire_samplers t next_time;
+    match q_pop t.queues.(c) with
+    | None -> false
+    | Some { time; action; _ } ->
+      if time > t.clock then t.clock <- time;
+      if c > 0 then begin
+        if time > Array.unsafe_get t.w_clocks c then t.w_clocks.(c) <- time;
+        Context.set c
+      end;
+      Fun.protect
+        ~finally:(fun () -> if c > 0 then Context.set 0)
+        (fun () -> dispatch t action);
+      true)
+
+let get_pool t =
+  match t.pool with
+  | Some p -> p
+  | None ->
+    (* Results are worker-count independent (the partition slices and
+       the merge order are fixed by the window protocol), so capping at
+       the hardware parallelism is purely a scheduling decision: on a
+       single-core host [`Domains 4] degrades to inline execution
+       instead of four domains time-slicing one core through every
+       stop-the-world minor collection. *)
+    let p = Domain_pool.create ~jobs:(Stdlib.min t.jobs (Domain.recommended_domain_count ())) in
+    t.pool <- Some p;
+    p
+
+(* Execute one partition's slice of the window [w_start, w_limit):
+   pop-and-dispatch every owned event below the limit. Intra-partition
+   sends land back in this queue (possibly inside the window — the
+   wheel keeps exact order); cross-partition sends accumulate in the
+   outbox. *)
+let run_partition t c ~w_start ~w_limit =
+  Context.set c;
+  Fun.protect
+    ~finally:(fun () -> Context.set 0)
+    (fun () ->
+      if Array.unsafe_get t.w_clocks c < w_start then t.w_clocks.(c) <- w_start;
+      let q = t.queues.(c) in
+      let continue = ref true in
+      while !continue do
+        match q_peek q with
+        | Some ev when ev.time < w_limit -> (
+          match q_pop q with
+          | Some { time; action; _ } ->
+            if time > Array.unsafe_get t.w_clocks c then t.w_clocks.(c) <- time;
+            dispatch t action
+          | None -> continue := false)
+        | _ -> continue := false
+      done)
+
+(* Window barrier, part 1: merge every outbox into the destination
+   queues in fixed context order. Events were sequenced at creation,
+   so the merge order only decides heap/wheel internal layout, never
+   pop order. The lookahead guarantee is checked here: a cross-window
+   event landing inside the window just executed would mean causality
+   was already violated. *)
+let merge_outboxes t ~w_limit =
+  for c = 1 to num_partitions do
+    match t.outboxes.(c) with
+    | [] -> ()
+    | newest_first ->
+      t.outboxes.(c) <- [];
+      List.iter
+        (fun (dst_ctx, ev) ->
+          if ev.time < w_limit then
+            failwith
+              (Printf.sprintf
+                 "Net: conservation violated: cross-partition event at t=%.6f inside the \
+                  window ending at %.6f (lookahead too large)"
+                 ev.time w_limit);
+          q_push t.queues.(dst_ctx) ev)
+        (List.rev newest_first)
+  done
+
+(* Window barrier, part 2: replay callbacks the partitions deferred to
+   the environment, in (time, context, insertion) order, advancing the
+   environment clock to each callback's deferral time so [now] inside
+   the callback reads the originating event's time. *)
+let run_deferred t =
+  let any = ref false in
+  for c = 1 to num_partitions do
+    if t.deferred.(c) <> [] then any := true
+  done;
+  if !any then begin
+    let batches = ref [] in
+    for c = num_partitions downto 1 do
+      match t.deferred.(c) with
+      | [] -> ()
+      | newest_first ->
+        t.deferred.(c) <- [];
+        batches := List.map (fun (tm, fn) -> (tm, c, fn)) (List.rev newest_first) :: !batches
+    done;
+    !batches |> List.concat
+    |> List.stable_sort (fun (t1, c1, _) (t2, c2, _) ->
+           match Float.compare t1 t2 with 0 -> Stdlib.compare c1 c2 | c -> c)
+    |> List.iter (fun (tm, _, fn) ->
+           if tm > t.clock then t.clock <- tm;
+           fn ())
+  end
+
+let defer_to_env t fn =
+  if t.is_ctx && t.in_window then begin
+    let c = Context.current () in
+    if c = 0 then fn ()
+    else t.deferred.(c) <- (Array.unsafe_get t.w_clocks c, fn) :: t.deferred.(c)
+  end
+  else fn ()
+
+let run_window t ~w_start ~w_limit =
+  let active = ref [] in
+  for c = num_partitions downto 1 do
+    match q_peek t.queues.(c) with
+    | Some ev when ev.time < w_limit -> active := c :: !active
+    | _ -> ()
+  done;
+  t.in_window <- true;
+  Fun.protect
+    ~finally:(fun () -> t.in_window <- false)
+    (fun () ->
+      match !active with
+      | [] -> ()
+      | [ c ] -> run_partition t c ~w_start ~w_limit
+      | cs ->
+        if t.jobs <= 1 then List.iter (fun c -> run_partition t c ~w_start ~w_limit) cs
+        else
+          ignore
+            (Domain_pool.map (get_pool t) (fun c -> run_partition t c ~w_start ~w_limit) cs
+              : unit list));
+  merge_outboxes t ~w_limit;
+  run_deferred t;
+  List.iter (fun fn -> fn ()) t.barrier_hooks;
+  if w_start > t.clock then t.clock <- w_start
+
+(* One scheduling decision of the windowed engine: either the next
+   event is an environment event (run it inline — environment events
+   mutate global state like liveness and links, so they act as
+   barriers), or a window [m, m + lookahead) of partition events is
+   executed — in parallel when more than one partition has work. The
+   window never extends past the next environment event, sampler
+   boundary, or [until]: those are points the lock-step schedule must
+   observe in global order. *)
+let advance_ctx t ~until =
+  match global_min t with
+  | None ->
+    (match until with Some limit -> fire_samplers t limit | None -> ());
+    false
+  | Some (_, { time = m; _ }) -> (
+    match until with
+    | Some limit when m > limit ->
+      fire_samplers t limit;
+      t.clock <- limit;
+      false
+    | _ ->
+      if m >= t.next_sample then fire_samplers t m;
+      (match q_peek t.queues.(0) with
+      | Some ev when ev.time <= m ->
+        (* Environment event at the frontier: run it sequentially. *)
+        ignore (step_ctx t : bool)
+      | _ ->
+        let la = lookahead t in
+        let w_limit = m +. la in
+        let w_limit =
+          match q_peek t.queues.(0) with
+          | Some ev -> Float.min w_limit ev.time
+          | None -> w_limit
+        in
+        let w_limit = Float.min w_limit t.next_sample in
+        let w_limit =
+          match until with Some limit -> Float.min w_limit (Float.succ limit) | None -> w_limit
+        in
+        if w_limit <= m then
+          (* Degenerate lookahead (zero-delay cross-partition links or a
+             topology with no locality floor): fall back to exact
+             sequential stepping — same schedule, no windows. *)
+          ignore (step_ctx t : bool)
+        else run_window t ~w_start:m ~w_limit);
+      true)
+
+let run_ctx ?until ?(max_events = max_int) t =
+  if max_events <> max_int then begin
+    (* Bounded runs need an exact per-event count: step sequentially. *)
+    let continue = ref true in
+    let count = ref 0 in
+    while !continue && !count < max_events do
+      match global_min t with
+      | None ->
+        (match until with Some limit -> fire_samplers t limit | None -> ());
+        continue := false
+      | Some (_, { time; _ }) -> (
+        match until with
+        | Some limit when time > limit ->
+          fire_samplers t limit;
+          t.clock <- limit;
+          continue := false
+        | _ ->
+          ignore (step_ctx t : bool);
+          incr count)
+    done
+  end
+  else begin
+    let continue = ref true in
+    while !continue do
+      continue := advance_ctx t ~until
+    done
+  end
+
+let step t = if t.is_ctx then step_ctx t else step_seq t
+
+let run ?until ?max_events t =
+  if t.is_ctx then run_ctx ?until ?max_events t else run_seq ?until ?max_events t
+
 let messages_sent t = Counter.value t.c_sent
 let messages_delivered t = Counter.value t.c_delivered
 let messages_dropped t = Counter.value t.c_dropped
-let lazy_value c = if Lazy.is_val c then Counter.value (Lazy.force c) else 0
-let messages_dropped_src_down t = lazy_value t.c_src_down
-let messages_dropped_partition t = lazy_value t.c_partition
-let messages_duplicated t = lazy_value t.c_duplicated
 
-let lazy_reset c = if Lazy.is_val c then Counter.reset (Lazy.force c)
+let opt_value cell = match Atomic.get cell with Some c -> Counter.value c | None -> 0
+let messages_dropped_src_down t = opt_value t.c_src_down
+let messages_dropped_partition t = opt_value t.c_partition
+let messages_duplicated t = opt_value t.c_duplicated
+
+let opt_reset cell = match Atomic.get cell with Some c -> Counter.reset c | None -> ()
 
 let reset_counters t =
   Counter.reset t.c_sent;
   Counter.reset t.c_delivered;
   Counter.reset t.c_dropped;
-  lazy_reset t.c_src_down;
-  lazy_reset t.c_partition;
-  lazy_reset t.c_duplicated;
+  opt_reset t.c_src_down;
+  opt_reset t.c_partition;
+  opt_reset t.c_duplicated;
   Histogram.reset t.latency;
-  Hashtbl.iter
-    (fun _ k ->
-      Counter.reset k.k_sent;
-      Counter.reset k.k_delivered;
-      Counter.reset k.k_dropped)
+  Array.iter
+    (fun tbl ->
+      Hashtbl.iter
+        (fun _ k ->
+          Counter.reset k.k_sent;
+          Counter.reset k.k_delivered;
+          Counter.reset k.k_dropped)
+        tbl)
     t.by_kind

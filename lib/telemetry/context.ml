@@ -1,0 +1,22 @@
+(* Which logical simulation partition the calling domain is currently
+   executing, as a small domain-local integer. Context 0 is the
+   environment/driver (and the only context single-threaded code ever
+   sees); contexts 1..max_contexts-1 are the partitions of a
+   conservatively parallel simulation window (see Simnet.Net).
+
+   Telemetry primitives that cannot be made commutative (histogram
+   reservoirs, the trace ring) shard their state by this index: each
+   partition writes only its own shard, so recording is race-free and
+   — because the partition a given event executes in is a function of
+   the simulation alone, never of how many domains drive it — the
+   merged export is identical at any worker count. *)
+
+let max_contexts = 9
+
+let key = Domain.DLS.new_key (fun () -> 0)
+
+let current () = Domain.DLS.get key
+
+let set c =
+  if c < 0 || c >= max_contexts then invalid_arg "Context.set: context out of range";
+  Domain.DLS.set key c

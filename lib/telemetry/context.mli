@@ -1,0 +1,22 @@
+(** Domain-local partition index for sharded telemetry.
+
+    A conservatively parallel simulation (Simnet.Net with
+    [`Domains _]) executes each node partition on its own domain
+    inside bounded-lag windows. Telemetry state that is not
+    commutative (histogram reservoirs, trace rings) is sharded by this
+    index so recording never races and the merged export is
+    independent of the worker count.
+
+    Context 0 is the environment/driver context — the default on
+    every domain, and the only one single-threaded code observes. *)
+
+val max_contexts : int
+(** 9: the environment plus up to 8 partitions. *)
+
+val current : unit -> int
+(** This domain's context (0 unless inside a partition task). *)
+
+val set : int -> unit
+(** Set this domain's context. Raises [Invalid_argument] outside
+    [0, max_contexts). Partition runners set it around each window
+    task and restore 0 afterwards. *)

@@ -1,11 +1,16 @@
-type t = { mutable value : int }
+(* Atomic so partition domains of a parallel simulation window can
+   bump shared counters directly: increments commute, so totals are
+   independent of interleaving and the exported value is identical at
+   any worker count. *)
 
-let create () = { value = 0 }
-let incr t = t.value <- t.value + 1
+type t = int Atomic.t
+
+let create () = Atomic.make 0
+let incr t = Atomic.incr t
 
 let add t n =
   if n < 0 then invalid_arg "Counter.add: counters are monotonic";
-  t.value <- t.value + n
+  ignore (Atomic.fetch_and_add t n : int)
 
-let value t = t.value
-let reset t = t.value <- 0
+let value t = Atomic.get t
+let reset t = Atomic.set t 0

@@ -1,79 +1,125 @@
 (* Fixed-cost distribution summary: exact count/sum/min/max plus a
    bounded reservoir (Vitter's algorithm R) for percentile export. The
    reservoir's replacement choices use a private LCG so histograms stay
-   deterministic and independent of the simulation's RNG streams. *)
+   deterministic and independent of the simulation's RNG streams.
 
-type t = {
-  capacity : int;
+   Observations are sharded by Context (the calling domain's partition
+   index): each partition of a parallel simulation window writes only
+   its own shard, so [observe] is race-free without locks, and —
+   because the partition an observation happens in is a property of
+   the simulation, not of the worker count — the merged summary is
+   identical at any parallelism. Single-threaded code only ever
+   touches shard 0, which behaves exactly like the pre-sharding
+   histogram (same LCG, same reservoir decisions, same percentiles). *)
+
+type shard = {
   reservoir : float array;
   mutable kept : int;
   mutable count : int;
   mutable sum : float;
-  mutable min : float;
-  mutable max : float;
+  mutable lo : float;
+  mutable hi : float;
   mutable state : int64;
-  mutable sorted : float array option; (* cache over reservoir, invalidated on observe *)
+}
+
+type t = {
+  capacity : int; (* per shard *)
+  shards : shard option array; (* Context.max_contexts slots, lazily filled *)
+  mutable merged : (int * float array) option;
+      (* sorted concat of all reservoirs, tagged with the total count it
+         was built at; only read/written from the driver context. *)
 }
 
 let default_capacity = 1024
 
-let create ?(capacity = default_capacity) () =
-  if capacity < 1 then invalid_arg "Histogram.create: capacity must be positive";
+let new_shard capacity =
   {
-    capacity;
     reservoir = Array.make capacity 0.0;
     kept = 0;
     count = 0;
     sum = 0.0;
-    min = Float.infinity;
-    max = Float.neg_infinity;
+    lo = Float.infinity;
+    hi = Float.neg_infinity;
     state = 0x9E3779B97F4A7C15L;
-    sorted = None;
   }
 
+let create ?(capacity = default_capacity) () =
+  if capacity < 1 then invalid_arg "Histogram.create: capacity must be positive";
+  let shards = Array.make Context.max_contexts None in
+  shards.(0) <- Some (new_shard capacity);
+  { capacity; shards; merged = None }
+
 (* SplitMix-style step; only used to pick reservoir slots. *)
-let next_int t bound =
-  t.state <- Int64.add (Int64.mul t.state 6364136223846793005L) 1442695040888963407L;
-  let bits = Int64.to_int (Int64.shift_right_logical t.state 17) in
+let next_int s bound =
+  s.state <- Int64.add (Int64.mul s.state 6364136223846793005L) 1442695040888963407L;
+  let bits = Int64.to_int (Int64.shift_right_logical s.state 17) in
   bits mod bound
 
+let[@inline] shard_for t =
+  let c = Context.current () in
+  match Array.unsafe_get t.shards c with
+  | Some s -> s
+  | None ->
+    (* Each context only ever writes its own slot, so this lazy fill
+       never races. *)
+    let s = new_shard t.capacity in
+    t.shards.(c) <- Some s;
+    s
+
 let observe t x =
-  t.count <- t.count + 1;
-  t.sum <- t.sum +. x;
-  if x < t.min then t.min <- x;
-  if x > t.max then t.max <- x;
-  t.sorted <- None;
-  if t.kept < t.capacity then begin
-    t.reservoir.(t.kept) <- x;
-    t.kept <- t.kept + 1
+  let s = shard_for t in
+  s.count <- s.count + 1;
+  s.sum <- s.sum +. x;
+  if x < s.lo then s.lo <- x;
+  if x > s.hi then s.hi <- x;
+  if s.kept < Array.length s.reservoir then begin
+    s.reservoir.(s.kept) <- x;
+    s.kept <- s.kept + 1
   end
   else begin
-    let j = next_int t t.count in
-    if j < t.capacity then t.reservoir.(j) <- x
+    let j = next_int s s.count in
+    if j < Array.length s.reservoir then s.reservoir.(j) <- x
   end
 
 let observe_int t x = observe t (float_of_int x)
-let count t = t.count
-let sum t = t.sum
-let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
-let min t = if t.count = 0 then 0.0 else t.min
-let max t = if t.count = 0 then 0.0 else t.max
 
+let fold f acc t =
+  Array.fold_left (fun acc s -> match s with Some s -> f acc s | None -> acc) acc t.shards
+
+let count t = fold (fun acc s -> acc + s.count) 0 t
+let sum t = fold (fun acc s -> acc +. s.sum) 0.0 t
+let mean t = let n = count t in if n = 0 then 0.0 else sum t /. float_of_int n
+let min t = if count t = 0 then 0.0 else fold (fun acc s -> Float.min acc s.lo) Float.infinity t
+let max t = if count t = 0 then 0.0 else fold (fun acc s -> Float.max acc s.hi) Float.neg_infinity t
+
+(* Sorted concatenation of every shard's reservoir, cached against the
+   total observation count. Only the export path (driver context) calls
+   this, never a partition task. *)
 let sorted_reservoir t =
-  match t.sorted with
-  | Some a -> a
-  | None ->
-    let a = Array.sub t.reservoir 0 t.kept in
+  let n = count t in
+  match t.merged with
+  | Some (at, a) when at = n -> a
+  | _ ->
+    let kept = fold (fun acc s -> acc + s.kept) 0 t in
+    let a = Array.make kept 0.0 in
+    let off = ref 0 in
+    Array.iter
+      (function
+        | Some s ->
+          Array.blit s.reservoir 0 a !off s.kept;
+          off := !off + s.kept
+        | None -> ())
+      t.shards;
     Array.sort Float.compare a;
-    t.sorted <- Some a;
+    t.merged <- Some (n, a);
     a
 
 let percentile t p =
   if p < 0.0 || p > 100.0 then invalid_arg "Histogram.percentile: p out of range";
-  if t.kept = 0 then 0.0
+  let a = sorted_reservoir t in
+  let n = Array.length a in
+  if n = 0 then 0.0
   else begin
-    let a = sorted_reservoir t in
-    let n = Array.length a in
     let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
     a.(Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)))
   end
@@ -91,8 +137,8 @@ type summary = {
 
 let summary t =
   {
-    s_count = t.count;
-    s_sum = t.sum;
+    s_count = count t;
+    s_sum = sum t;
     s_mean = mean t;
     s_min = min t;
     s_max = max t;
@@ -102,9 +148,18 @@ let summary t =
   }
 
 let reset t =
-  t.kept <- 0;
-  t.count <- 0;
-  t.sum <- 0.0;
-  t.min <- Float.infinity;
-  t.max <- Float.neg_infinity;
-  t.sorted <- None
+  Array.iteri
+    (fun i s ->
+      match s with
+      | Some _ when i > 0 -> t.shards.(i) <- None
+      | Some s ->
+        (* [state] is deliberately not reset, matching the pre-sharding
+           histogram: reset clears the data, not the LCG position. *)
+        s.kept <- 0;
+        s.count <- 0;
+        s.sum <- 0.0;
+        s.lo <- Float.infinity;
+        s.hi <- Float.neg_infinity
+      | None -> ())
+    t.shards;
+  t.merged <- None

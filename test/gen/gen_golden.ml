@@ -1,8 +1,16 @@
-(* Regenerates the determinism golden fixture:
+(* Regenerates the determinism golden fixtures:
 
      dune exec test/gen/gen_golden.exe > test/exp1_hops.golden
+     dune exec test/gen/gen_golden.exe -- churn > test/exp14_churn.golden
 
-   See Past_experiments.Report.determinism_fixture for what it covers
-   and when regeneration is legitimate. *)
+   See Past_experiments.Report.determinism_fixture (EXP1, sequential
+   engine) and Report.churn_fixture (EXP14, parallel engine at jobs=1)
+   for what each covers and when regeneration is legitimate. *)
 
-let () = print_string (Past_experiments.Report.determinism_fixture ())
+let () =
+  match Sys.argv with
+  | [| _ |] -> print_string (Past_experiments.Report.determinism_fixture ())
+  | [| _; "churn" |] -> print_string (Past_experiments.Report.churn_fixture ~jobs:1 ())
+  | _ ->
+    prerr_endline "usage: gen_golden.exe [churn]";
+    exit 2

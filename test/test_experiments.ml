@@ -227,6 +227,99 @@ let golden_determinism () =
       (first_diff 0) (String.length actual) (String.length expected)
   end
 
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.equal (String.sub haystack i nn) needle || at (i + 1)) in
+  at 0
+
+let read_golden name =
+  (* dune runtest runs in the stanza's build dir; dune exec from the
+     project root. *)
+  let path = if Sys.file_exists name then name else Filename.concat "test" name in
+  let ic = open_in_bin path in
+  let expected = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  expected
+
+let golden_churn_parallel () =
+  (* The EXP14 fixture is captured on the windowed engine at jobs=1
+     (see gen_golden.ml). The same bytes must come back at jobs=4: the
+     worker count may only change the wall clock, never the transcript.
+     This is the committed-artifact complement to the randomized
+     equivalence tests in test_parallel_net.ml. *)
+  let expected = read_golden "exp14_churn.golden" in
+  List.iter
+    (fun jobs ->
+      let actual = Past_experiments.Report.churn_fixture ~jobs () in
+      if not (String.equal actual expected) then begin
+        let n = Stdlib.min (String.length actual) (String.length expected) in
+        let rec first_diff i =
+          if i < n && actual.[i] = expected.[i] then first_diff (i + 1) else i
+        in
+        Alcotest.failf
+          "EXP14 output at jobs=%d drifted from test/exp14_churn.golden (first difference at \
+           byte %d; %d vs %d bytes). If intentional, regenerate with `dune exec \
+           test/gen/gen_golden.exe -- churn`."
+          jobs (first_diff 0) (String.length actual) (String.length expected)
+      end)
+    [ 1; 4 ]
+
+let malicious_success_monotone () =
+  (* EXP8 at smoke scale: success degrades as the malicious fraction
+     grows, each row's randomized-retry column is cumulative (hence
+     non-decreasing in the retry budget), and the rendered table keeps
+     the schema `past_sim malicious` documents. *)
+  let open Past_experiments.Exp_malicious in
+  let r = run { n = 250; fractions = [ 0.05; 0.3 ]; lookups = 80; max_retries = 3; seed = 23 } in
+  (match r.rows with
+  | [ lo; hi ] ->
+    check Alcotest.bool
+      (Printf.sprintf "deterministic success monotone (%.2f >= %.2f)" lo.det_success
+         hi.det_success)
+      true
+      (lo.det_success >= hi.det_success);
+    check Alcotest.bool "randomized success monotone in fraction" true
+      (lo.rand_success.(r.max_retries - 1) >= hi.rand_success.(r.max_retries - 1));
+    List.iter
+      (fun row ->
+        for i = 0 to r.max_retries - 2 do
+          check Alcotest.bool "retry column cumulative" true
+            (row.rand_success.(i + 1) >= row.rand_success.(i))
+        done)
+      [ lo; hi ]
+  | _ -> Alcotest.fail "two rows expected");
+  let rendered = Past_stdext.Text_table.render (table r) in
+  List.iter
+    (fun header ->
+      check Alcotest.bool (Printf.sprintf "table has %S column" header) true
+        (contains rendered header))
+    [ "malicious fraction"; "deterministic (any #retries)"; "randomized <=3 tries" ]
+
+let soak_smoke () =
+  (* The soak experiment end to end at smoke scale, on the parallel
+     engine: the mixed workload makes progress and the quiesce+repair
+     epilogue leaves every surviving file with at least one live
+     replica. *)
+  let open Past_experiments.Exp_soak in
+  let r =
+    run
+      {
+        default_params with
+        n = 30;
+        horizon = 8_000.0;
+        mean_time_to_failure = 20_000.0;
+        mean_downtime = 3_000.0;
+        seed = 31;
+        net_jobs = Some 2;
+      }
+  in
+  check Alcotest.bool "inserts attempted" true (r.inserts_attempted > 0);
+  check Alcotest.bool "some inserts succeed" true (r.inserts_ok > 0);
+  check Alcotest.int "all nodes revived by the epilogue" 30 r.final_live_nodes;
+  check Alcotest.int "every live file still available" r.live_files r.files_available;
+  check Alcotest.bool "table has the availability row" true
+    (contains (Past_stdext.Text_table.render (table r)) "available (>=1 live replica)")
+
 let suite =
   ( "experiments",
     [
@@ -240,9 +333,12 @@ let suite =
       "EXP6 leaf failure threshold" => leaf_failures_threshold;
       "EXP7 maintenance costs bounded" => maintenance_costs_bounded;
       "EXP8 randomized retries win" => randomized_retries_beat_deterministic;
+      "EXP8 success monotone in malicious fraction" => malicious_success_monotone;
       "EXP9/10 storage policy ordering" => storage_policies_ordered;
       "EXP11 caching reduces distance" => caching_reduces_distance;
       "EXP12 balance and diversity" => balance_and_diversity;
       "EXP5/12 row-parallel --jobs byte-identical" => replica_balance_jobs_byte_identical;
       "EXP13 quota economy" => quota_economy_conserves;
+      "EXP14 churn golden at jobs 1 and 4" => golden_churn_parallel;
+      "SOAK smoke on the parallel engine" => soak_smoke;
     ] )

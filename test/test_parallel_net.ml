@@ -1,0 +1,256 @@
+(* Equivalence oracle for the conservative parallel simulation engine
+   (DESIGN.md §6f).
+
+   The contract under test: a [`Domains k] network is a pure function
+   of the seed and the scenario — the worker count [k] only changes
+   which OS threads execute a window, never the transcript. So for
+   random topologies, random message traces and every fault knob
+   enabled (loss, duplication, reordering, partitions, per-link
+   overrides), the full delivery transcript and the final telemetry
+   must be byte-identical at jobs 1, 2 and 4 — [`Domains 1] is the
+   sequential oracle for the parallel runs.
+
+   The degenerate cases ride along: a plane topology has zero minimum
+   cross-partition delay (zero lookahead), and a transit-stub run can
+   lose its lookahead mid-run when a zero-delay cross-partition link
+   override appears. Both must fall back to exact global-order
+   stepping — terminating, deterministic, still k-independent. *)
+
+module Net = Past_simnet.Net
+module Topology = Past_simnet.Topology
+module Rng = Past_stdext.Rng
+
+(* A message is (hop budget, tag): on delivery with budget > 0 the
+   node forwards (budget-1, tag+1) to a tag-derived neighbour, so a
+   single driver send fans out into a deterministic cascade that
+   crosses partitions. *)
+type msg = int * int
+
+type scenario = {
+  topo : [ `Plane | `Transit_stub ];
+  n : int;
+  seed : int;
+  trace : int;  (** driver sends *)
+  budget : int;  (** cascade depth per driver send *)
+  loss : float;
+  dup : float;
+  reorder : float;
+  partition_at : float option;  (** sim time of a partition/heal pair *)
+  link_overrides : bool;
+  zero_delay_link : bool;  (** collapse the lookahead mid-run *)
+}
+
+let pp_scenario s =
+  Printf.sprintf
+    "{topo=%s n=%d seed=%d trace=%d budget=%d loss=%.2f dup=%.2f reorder=%.2f part=%s links=%b \
+     zero_delay=%b}"
+    (match s.topo with `Plane -> "plane" | `Transit_stub -> "transit_stub")
+    s.n s.seed s.trace s.budget s.loss s.dup s.reorder
+    (match s.partition_at with None -> "no" | Some t -> Printf.sprintf "%.0f" t)
+    s.link_overrides s.zero_delay_link
+
+(* Run [s] on [`Domains jobs] and render everything observable:
+   per-node delivery transcripts (each written only by its owner
+   partition, so recording is race-free by construction) plus the
+   final clock and counters. *)
+let run_scenario s ~jobs =
+  let rng = Rng.create s.seed in
+  let topology =
+    match s.topo with `Plane -> Topology.plane () | `Transit_stub -> Topology.transit_stub ()
+  in
+  let describe (_, tag) = if tag mod 3 = 0 then "ping" else "relay" in
+  let net : msg Net.t =
+    Net.create ~loss_rate:s.loss ~describe ~par:(`Domains jobs) ~rng ~topology ()
+  in
+  let logs = Array.init s.n (fun _ -> Buffer.create 256) in
+  let addrs = Array.make s.n (-1) in
+  for i = 0 to s.n - 1 do
+    addrs.(i) <-
+      Net.register net ~handler:(fun src (budget, tag) ->
+          Buffer.add_string logs.(i)
+            (Printf.sprintf "%.6f %d->%d b=%d t=%d\n" (Net.now net) src addrs.(i) budget tag);
+          if budget > 0 then
+            let next = addrs.((i + tag + 1) mod s.n) in
+            Net.send net ~src:addrs.(i) ~dst:next (budget - 1, tag + 1))
+  done;
+  (* Driver trace: scheduled up front from a stream independent of the
+     network's, so the trace is identical across engines and jobs. *)
+  let driver = Rng.create (s.seed + 7919) in
+  for k = 0 to s.trace - 1 do
+    let at = Rng.float driver 500.0 in
+    let src = addrs.(Rng.int driver s.n) and dst = addrs.(Rng.int driver s.n) in
+    Net.schedule net ~delay:at (fun () -> Net.send net ~src ~dst (s.budget, k))
+  done;
+  (* Fault timeline, also scheduled from the environment. *)
+  Net.schedule net ~delay:50.0 (fun () ->
+      Net.set_duplication_rate net s.dup;
+      Net.set_reorder net ~rate:s.reorder ~max_extra_delay:40.0);
+  (match s.partition_at with
+  | Some t ->
+    let half = Array.to_list (Array.sub addrs 0 (s.n / 2)) in
+    Net.schedule net ~delay:t (fun () -> Net.partition net [ half ]);
+    Net.schedule net ~delay:(t +. 120.0) (fun () -> Net.heal_partition net)
+  | None -> ());
+  if s.link_overrides then
+    Net.schedule net ~delay:80.0 (fun () ->
+        Net.set_link net ~src:addrs.(0) ~dst:addrs.(s.n - 1) ~loss:1.0 ();
+        Net.set_link net ~src:addrs.(1) ~dst:addrs.(2) ~delay_factor:2.5 ~extra_delay:15.0 ());
+  if s.zero_delay_link then
+    Net.schedule net ~delay:130.0 (fun () ->
+        (* Zero-delay cross link: the lookahead collapses to 0 and the
+           engine must degrade to exact global-order stepping. *)
+        Net.set_link net ~src:addrs.(2) ~dst:addrs.(s.n - 1) ~delay_factor:0.0 ~extra_delay:0.0
+          ());
+  (* A node flap, to exercise src-down/dst-down accounting. *)
+  Net.schedule net ~delay:100.0 (fun () -> Net.set_alive net addrs.(0) false);
+  Net.schedule net ~delay:200.0 (fun () -> Net.set_alive net addrs.(0) true);
+  Net.run net;
+  Net.shutdown net;
+  let out = Buffer.create 4096 in
+  Array.iteri
+    (fun i log ->
+      Buffer.add_string out (Printf.sprintf "== node %d (%d) ==\n" i addrs.(i));
+      Buffer.add_buffer out log)
+    logs;
+  Buffer.add_string out
+    (Printf.sprintf "now=%.6f sent=%d delivered=%d dropped=%d dup=%d src_down=%d part=%d\n"
+       (Net.now net) (Net.messages_sent net) (Net.messages_delivered net)
+       (Net.messages_dropped net) (Net.messages_duplicated net)
+       (Net.messages_dropped_src_down net)
+       (Net.messages_dropped_partition net));
+  List.iter
+    (fun kind ->
+      let sent, delivered, dropped = Net.counters_for_kind net kind in
+      Buffer.add_string out (Printf.sprintf "kind=%s %d/%d/%d\n" kind sent delivered dropped))
+    [ "ping"; "relay" ];
+  Buffer.contents out
+
+let check_jobs_equivalent s =
+  let t1 = run_scenario s ~jobs:1 in
+  let t2 = run_scenario s ~jobs:2 in
+  let t4 = run_scenario s ~jobs:4 in
+  if not (String.equal t1 t2) then
+    QCheck.Test.fail_reportf "jobs 1 vs 2 diverged on %s\n--- jobs=1 ---\n%s\n--- jobs=2 ---\n%s"
+      (pp_scenario s) t1 t2;
+  if not (String.equal t1 t4) then
+    QCheck.Test.fail_reportf "jobs 1 vs 4 diverged on %s\n--- jobs=1 ---\n%s\n--- jobs=4 ---\n%s"
+      (pp_scenario s) t1 t4;
+  true
+
+let gen_scenario =
+  QCheck.Gen.(
+    let* topo = oneofl [ `Plane; `Transit_stub ] in
+    let* n = int_range 4 16 in
+    let* seed = int_range 1 10_000 in
+    let* trace = int_range 10 40 in
+    let* budget = int_range 0 4 in
+    let* loss = float_bound_inclusive 0.3 in
+    let* dup = float_bound_inclusive 0.25 in
+    let* reorder = float_bound_inclusive 0.3 in
+    let* partition_at = opt (float_range 60.0 300.0) in
+    let* link_overrides = bool in
+    let+ zero_delay_link = bool in
+    {
+      topo;
+      n;
+      seed;
+      trace;
+      budget;
+      loss;
+      dup;
+      reorder;
+      partition_at;
+      link_overrides;
+      zero_delay_link;
+    })
+
+let arb_scenario = QCheck.make ~print:pp_scenario gen_scenario
+
+let qcheck_equivalence =
+  QCheck.Test.make ~name:"random scenario transcripts identical at jobs {1,2,4}" ~count:20
+    arb_scenario check_jobs_equivalent
+
+(* Deterministic pinned cases for the corners the generator may visit
+   only occasionally. *)
+
+let degenerate_zero_lookahead () =
+  (* Plane topology: min cross-partition proximity is 0, so the
+     windowed engine has no lookahead at all and must run in exact
+     global order from the first event — the assertion is simply that
+     it terminates (no livelock) with identical bytes. *)
+  let s =
+    {
+      topo = `Plane;
+      n = 10;
+      seed = 42;
+      trace = 30;
+      budget = 3;
+      loss = 0.1;
+      dup = 0.1;
+      reorder = 0.2;
+      partition_at = Some 90.0;
+      link_overrides = true;
+      zero_delay_link = true;
+    }
+  in
+  Alcotest.(check bool) "plane scenario equivalent" true (check_jobs_equivalent s)
+
+let lookahead_collapse_mid_run () =
+  (* Transit-stub starts with a healthy lookahead, then a zero-delay
+     cross-partition link forces the degenerate path mid-run. *)
+  let s =
+    {
+      topo = `Transit_stub;
+      n = 12;
+      seed = 7;
+      trace = 35;
+      budget = 4;
+      loss = 0.05;
+      dup = 0.15;
+      reorder = 0.25;
+      partition_at = Some 150.0;
+      link_overrides = true;
+      zero_delay_link = true;
+    }
+  in
+  Alcotest.(check bool) "transit-stub collapse equivalent" true (check_jobs_equivalent s)
+
+let faultless_baseline () =
+  (* All fault knobs at zero: the pure windowed pipeline. *)
+  let s =
+    {
+      topo = `Transit_stub;
+      n = 8;
+      seed = 3;
+      trace = 25;
+      budget = 3;
+      loss = 0.0;
+      dup = 0.0;
+      reorder = 0.0;
+      partition_at = None;
+      link_overrides = false;
+      zero_delay_link = false;
+    }
+  in
+  Alcotest.(check bool) "faultless scenario equivalent" true (check_jobs_equivalent s)
+
+let clamp_reported () =
+  let rng = Rng.create 1 in
+  let net : msg Net.t =
+    Net.create ~par:(`Domains 64) ~rng ~topology:(Topology.transit_stub ()) ()
+  in
+  (match Net.parallelism net with
+  | `Domains k -> Alcotest.(check bool) "worker count clamped to partitions" true (k <= 8)
+  | `Seq -> Alcotest.fail "expected `Domains");
+  Net.shutdown net
+
+let suite =
+  ( "parallel_net",
+    [
+      QCheck_alcotest.to_alcotest qcheck_equivalence;
+      Alcotest.test_case "degenerate: zero lookahead (plane)" `Quick degenerate_zero_lookahead;
+      Alcotest.test_case "degenerate: lookahead collapses mid-run" `Quick
+        lookahead_collapse_mid_run;
+      Alcotest.test_case "faultless baseline equivalent" `Quick faultless_baseline;
+      Alcotest.test_case "`Domains clamp reported" `Quick clamp_reported;
+    ] )

@@ -223,7 +223,7 @@ let blackout_loss_rate_accepted () =
   check Alcotest.int "nothing delivered" 0 !got;
   check Alcotest.int "all dropped" 10 (Net.messages_dropped net);
   Alcotest.check_raises "loss_rate > 1 rejected"
-    (Invalid_argument "Net.create: loss_rate must be in [0,1]") (fun () ->
+    (Invalid_argument "Net.create: loss_rate must be in [0,1] (got 1.5)") (fun () ->
       ignore (make_net ~loss_rate:1.5 ()));
   Net.set_loss_rate net 0.0;
   Net.send net ~src:b ~dst:a "x";
