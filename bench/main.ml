@@ -16,10 +16,15 @@
    (EXP1–EXP13; see DESIGN.md section 5 and EXPERIMENTS.md). Scale with
    PAST_SCALE (default 1.0; the tables in EXPERIMENTS.md use 1.0).
 
-   Flags: --micro-only | --macro-only | --tables-only select one part
-   (default: all three); --json additionally writes every micro/macro
-   result that ran to BENCH_results.json (schema: bench name ->
-   {value, unit} with unit one of ns/op, ops/sec, ms). *)
+   Part 4: store-backend benchmarks — sustained insert throughput on
+   the in-memory vs disk-backed log store, and a replacement-churn run
+   that exercises log compaction.
+
+   Flags: --micro-only | --macro-only | --tables-only | --store-only
+   select one part (default: all); --json additionally writes every
+   micro/macro result that ran to BENCH_results.json (schema: bench
+   name -> {value, unit} with unit one of ns/op, ops/sec, ms), merging
+   with rows already in the file so partial runs keep the rest. *)
 
 open Bechamel
 open Toolkit
@@ -42,11 +47,27 @@ let record name ~unit value =
       :: !json_results
 
 let write_json path =
+  (* Merge into an existing results file so a partial run (--store-only,
+     --macro-only) refreshes its own rows without dropping the rest. *)
+  let previous =
+    if Sys.file_exists path then begin
+      let ic = open_in_bin path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match Json.of_string s with
+      | Ok (Json.Obj fields) -> (
+        match List.assoc_opt "benches" fields with Some (Json.Obj b) -> b | _ -> [])
+      | Ok _ | Error _ -> []
+    end
+    else []
+  in
+  let fresh = List.rev !json_results in
+  let kept = List.filter (fun (name, _) -> not (List.mem_assoc name fresh)) previous in
   let obj =
     Json.Obj
       [
         ("schema", Json.String "bench name -> {value, unit}; unit is ns/op, ops/sec or ms");
-        ("benches", Json.Obj (List.rev !json_results));
+        ("benches", Json.Obj (kept @ fresh));
       ]
   in
   let oc = open_out path in
@@ -247,6 +268,91 @@ module Sched_bench = struct
     row "scheduler cancel, wheel" (cancel_cost ()) "ns/op"
 end
 
+(* --- store-backend benchmarks ------------------------------------------- *)
+
+(* The disk path the mega-scale EXP9/EXP10 run rides on: sustained
+   distinct-id inserts (append + index update) on the log store vs the
+   in-memory table, and a same-id replacement churn that generates
+   ~95% garbage so size-triggered compaction runs repeatedly. *)
+module Store_bench = struct
+  module Store = Past_core.Store
+  module Cert = Past_core.Certificate
+  module Signer = Past_crypto.Signer
+
+  let keypair = lazy (Signer.generate (Rng.create 4242) ~mode:`Insecure)
+
+  let cert ~name ~size =
+    let keypair = Lazy.force keypair in
+    Cert.make_file ~keypair ~owner:(Signer.public keypair)
+      ~owner_endorsement:(Bytes.of_string "bench") ~name ~data:"" ~declared_size:size
+      ~replication:3 ~salt:"bench" ~now:0.0 ()
+
+  let payload = String.make 4096 'x'
+
+  let sustained ~backend ~label ~n row =
+    let store = Store.create ~capacity:max_int ~backend () in
+    let certs = Array.init n (fun i -> cert ~name:(Printf.sprintf "s-%d" i) ~size:4096) in
+    let (), dt =
+      timed (fun () ->
+          Array.iter
+            (fun c ->
+              match Store.put store ~cert:c ~data:payload ~kind:Store.Primary with
+              | Ok () -> ()
+              | Error `Refused -> assert false)
+            certs;
+          Store.flush store)
+    in
+    row
+      (Printf.sprintf "store sustained insert, %s (%d x 4 KiB)" label n)
+      (float_of_int n /. dt) "ops/sec";
+    Store.close store
+
+  let churn row =
+    let live = 2_000 and puts = 40_000 in
+    let store =
+      Store.create ~capacity:max_int
+        ~backend:(Store.Log { dir = None; segment_target = Some (256 * 1024) })
+        ()
+    in
+    let certs = Array.init live (fun i -> cert ~name:(Printf.sprintf "c-%d" i) ~size:4096) in
+    let (), dt =
+      timed (fun () ->
+          for i = 0 to puts - 1 do
+            match Store.put store ~cert:certs.(i mod live) ~data:payload ~kind:Store.Primary with
+            | Ok () -> ()
+            | Error `Refused -> assert false
+          done;
+          Store.flush store)
+    in
+    let s = match Store.log_stats store with Some s -> s | None -> assert false in
+    row
+      (Printf.sprintf "log store replace churn (%d puts, %d live)" puts live)
+      (float_of_int puts /. dt) "ops/sec";
+    row "log store churn compactions" (float_of_int s.Past_core.Log_store.compactions) "count";
+    row "log store churn rewrite ratio"
+      (if s.Past_core.Log_store.live_bytes = 0 then 0.0
+       else
+         float_of_int s.Past_core.Log_store.compacted_bytes
+         /. float_of_int s.Past_core.Log_store.live_bytes)
+      "x";
+    Store.close store
+
+  let run row =
+    sustained ~backend:Store.Mem ~label:"mem" ~n:20_000 row;
+    sustained ~backend:(Store.Log { dir = None; segment_target = None }) ~label:"log" ~n:20_000 row;
+    churn row
+end
+
+let run_store () =
+  print_endline "== store-backend benchmarks (wall clock, single run) ==";
+  let table = Past_stdext.Text_table.create [ "benchmark"; "value"; "unit" ] in
+  let row name value unit =
+    record name ~unit value;
+    Past_stdext.Text_table.add_row table [ name; Printf.sprintf "%.1f" value; unit ]
+  in
+  Store_bench.run row;
+  Past_stdext.Text_table.print table
+
 let run_macro () =
   print_endline "== macro-benchmarks (wall clock, single run) ==";
   let table = Past_stdext.Text_table.create [ "benchmark"; "value"; "unit" ] in
@@ -289,12 +395,17 @@ let () =
   let micro_only = List.mem "--micro-only" args in
   let macro_only = List.mem "--macro-only" args in
   let tables_only = List.mem "--tables-only" args in
+  let store_only = List.mem "--store-only" args in
   let json = List.mem "--json" args in
-  let all = not (micro_only || macro_only || tables_only) in
+  let all = not (micro_only || macro_only || tables_only || store_only) in
   if all || micro_only then run_micro ();
   if all || macro_only then begin
     if all || micro_only then print_newline ();
     run_macro ()
+  end;
+  if all || store_only then begin
+    if all then print_newline ();
+    run_store ()
   end;
   if all || tables_only then begin
     print_endline "\n== reproduced tables (one per paper claim; see EXPERIMENTS.md) ==";

@@ -203,6 +203,62 @@ let churn_cmd =
       const f $ scale_arg $ json_arg $ rate_arg $ duration_arg $ seed_arg $ monitors_arg
       $ trace_out_arg)
 
+(* Dedicated `megastore` command: EXP9/EXP10 at millions of files on a
+   chosen store backend. Deliberately not part of `all` — a full run
+   takes minutes and writes gigabytes of scratch segments. *)
+let megastore_cmd =
+  let module Exp_storage = Past_experiments.Exp_storage in
+  let module Store = Past_core.Store in
+  let doc =
+    "Run the storage-utilization experiment (EXP9/EXP10, Full policy) at mega scale — \
+     default one million insert attempts — and report the C7 envelope plus sustained insert \
+     throughput and, on the log backend, segment/compaction statistics."
+  in
+  let files_arg =
+    let doc = "Number of insert attempts (default 1000000)." in
+    Arg.(value & opt int 1_000_000 & info [ "files" ] ~docv:"N" ~doc)
+  in
+  let nodes_arg =
+    let doc = "Number of storage nodes (default 100); capacities scale as files/nodes." in
+    Arg.(value & opt int 100 & info [ "nodes" ] ~docv:"N" ~doc)
+  in
+  let store_arg =
+    let doc =
+      "Store backend: $(b,mem) or $(b,log) (default: PAST_STORE environment variable, else \
+       mem)."
+    in
+    Arg.(value & opt (some (enum [ ("mem", `Mem); ("log", `Log) ])) None & info [ "store" ] ~doc)
+  in
+  let seed_arg =
+    let doc = "RNG seed (default 97); runs are a pure function of it." in
+    Arg.(value & opt int 97 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let f json files nodes store seed monitors =
+    apply_monitors monitors;
+    let store_backend =
+      match store with
+      | Some `Mem -> Store.Mem
+      | Some `Log -> Store.Log { dir = None; segment_target = None }
+      | None -> Store.default_backend ()
+    in
+    let m = Exp_storage.run_mega ~n:nodes ~files ~seed ~store_backend () in
+    let out =
+      Past_experiments.Report.tables
+        [
+          ( "EXP9/EXP10 mega: utilization, rejects and insert throughput at scale",
+            Exp_storage.mega_table m );
+        ]
+    in
+    if json then
+      print_endline
+        (Past_stdext.Json.to_string ~indent:true
+           (Past_experiments.Report.json_of_output ~trace:0 "megastore" out))
+    else Past_experiments.Report.print_output ~trace:0 out;
+    check_monitors monitors
+  in
+  Cmd.v (Cmd.info "megastore" ~doc)
+    Term.(const f $ json_arg $ files_arg $ nodes_arg $ store_arg $ seed_arg $ monitors_arg)
+
 let trace_cmd =
   let doc =
     "Run a small traced PAST workload (inserts, a crash with repair, cached lookups, a \
@@ -225,7 +281,7 @@ let () =
   let doc = "PAST reproduction: run the paper's experiments on the simulator" in
   let info = Cmd.info "past_sim" ~version:"1.0.0" ~doc in
   let subcommands =
-    all_cmd :: list_cmd :: metrics_cmd :: churn_cmd :: trace_cmd
+    all_cmd :: list_cmd :: metrics_cmd :: churn_cmd :: megastore_cmd :: trace_cmd
     :: List.filter_map
          (fun (name, _) -> if name = "churn" then None else Some (run_cmd name))
          Past_experiments.Report.all

@@ -31,6 +31,11 @@ let generate rng ~bits =
 
 let public_to_string { n; e } = Printf.sprintf "rsa:%s:%s" (Nat.to_hex n) (Nat.to_hex e)
 
+let public_of_string s =
+  match String.split_on_char ':' s with
+  | [ "rsa"; n; e ] -> { n = Nat.of_hex n; e = Nat.of_hex e }
+  | _ -> invalid_arg (Printf.sprintf "Rsa.public_of_string: %S is not an encoded public key" s)
+
 (* EMSA-PKCS1-v1_5-like deterministic encoding:
    0x00 0x01 0xFF... 0x00 || sha256(msg), sized to the modulus. *)
 let encode_message n msg =

@@ -15,6 +15,10 @@ val generate : Past_stdext.Rng.t -> bits:int -> keypair
 val public_to_string : public -> string
 (** Canonical encoding of a public key; hash this to derive ids. *)
 
+val public_of_string : string -> public
+(** Inverse of {!public_to_string}. Raises [Invalid_argument] (reporting
+    the offending string) on anything else. *)
+
 val sign : keypair -> bytes -> bytes
 (** [sign kp msg] signs SHA-256([msg]) with the private exponent. The
     signature length equals the modulus length in bytes. *)

@@ -31,5 +31,11 @@ let verify pub msg signature =
     Bytes.equal signature
       (Sha256.digest_string (Printf.sprintf "tag:%s:%s" nonce (Bytes.to_string msg)))
 
+let public_of_string s =
+  let prefixed p = String.length s > String.length p && String.sub s 0 (String.length p) = p in
+  if prefixed "insecure:" then Insecure_pub { nonce = String.sub s 9 (String.length s - 9) }
+  else if prefixed "rsa:" then Rsa_pub (Rsa.public_of_string s)
+  else invalid_arg (Printf.sprintf "Signer.public_of_string: %S is not an encoded public key" s)
+
 let equal_public a b = String.equal (public_to_string a) (public_to_string b)
 let pp_public fmt p = Format.pp_print_string fmt (public_to_string p)

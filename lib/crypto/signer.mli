@@ -20,6 +20,11 @@ val public : keypair -> public
 val public_to_string : public -> string
 (** Canonical encoding; hash it to derive nodeIds/fileIds. *)
 
+val public_of_string : string -> public
+(** Inverse of {!public_to_string} (both modes round-trip) — the
+    disk-backed store uses it to rebuild certificates from a segment
+    log. Raises [Invalid_argument] reporting the offending string. *)
+
 val sign : keypair -> bytes -> bytes
 val verify : public -> bytes -> bytes -> bool
 val equal_public : public -> public -> bool

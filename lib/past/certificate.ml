@@ -29,7 +29,9 @@ let make_file ~keypair ~owner ~owner_endorsement ~name ~data ?declared_size ~rep
   let file_id = Id.file_id_of_key ~name ~owner_key:(Signer.public_to_string owner) ~salt in
   let content_hash = content_hash_of data in
   let size = match declared_size with Some s -> s | None -> String.length data in
-  if size < 0 then invalid_arg "Certificate.make_file: negative size";
+  if size <= 0 then
+    invalid_arg
+      (Printf.sprintf "Certificate.make_file: size must be positive, got %d (file %S)" size name);
   let material =
     file_material ~file_id ~owner ~content_hash ~size ~replication ~salt ~inserted_at:now
   in

@@ -41,7 +41,10 @@ val make_file :
     [declared_size] (default [String.length data]) lets large-scale
     simulations account for multi-megabyte files while carrying tiny
     placeholder payloads; content verification is then meaningless and
-    must be disabled (see DESIGN.md §2). *)
+    must be disabled (see DESIGN.md §2). The size must be strictly
+    positive — a zero- or negative-size certificate would occupy a
+    replica slot while evading every quota and admission check — else
+    [Invalid_argument] reporting the offending value. *)
 
 val verify_file : file -> bool
 (** Signature check against the embedded owner key. *)

@@ -1,0 +1,54 @@
+(** Disk-backed log-structured storage backend (DESIGN.md §7).
+
+    Replica entries live in append-only segment files; an in-memory
+    index maps each fileId to its newest record's location, so RAM
+    holds ~50 bytes per entry while certificates and payloads stay on
+    disk — the geometry that lets one simulated node hold millions of
+    files. Replacement and removal append (a new record / a tombstone)
+    rather than rewrite; a size-triggered compaction copies the live
+    records into a fresh segment chain and unlinks the old one when
+    dead bytes exceed live bytes.
+
+    Durability model: segments are written through a buffered channel;
+    {!flush} (or any read of the active segment) pushes the buffer to
+    the OS. Recovery replays segments in chain order with last-record-
+    wins semantics, truncates a torn tail, and tolerates a crash at any
+    point of a compaction: the compacted chain carries strictly higher
+    segment ids than the chain it replaces, so replaying both yields
+    the same state as replaying either. *)
+
+type t
+
+val create : ?dir:string -> ?segment_target:int -> unit -> t
+(** Open a log store.
+
+    [dir]: segment directory. When omitted, a scratch directory is
+    created (under [PAST_STORE_DIR] or the system temp dir), owned by
+    the store: {!close} deletes it, and any leftovers are removed at
+    process exit. When given, the directory is created if missing and
+    an existing segment chain in it is {e replayed} — this is the
+    crash-recovery path — and {!close} keeps the files.
+
+    [segment_target] (default 8 MiB) bounds individual segment files;
+    compaction triggers once dead bytes exceed both the live bytes and
+    one segment. *)
+
+include Store_backend.S with type t := t
+
+val compact : ?crash_before_cleanup:bool -> t -> unit
+(** Force a compaction now. [crash_before_cleanup] (tests only) stops
+    the store at the moment the new chain is fully written but the old
+    chain is not yet unlinked — the worst-case recovery point — leaving
+    both on disk and closing the store so the caller can replay it. *)
+
+type stats = {
+  segments : int;
+  disk_bytes : int;  (** bytes across all segment files, dead included *)
+  live_bytes : int;  (** bytes of records the index still points at *)
+  entry_count : int;
+  compactions : int;
+  compacted_bytes : int;  (** live bytes carried over by compactions *)
+}
+
+val stats : t -> stats
+val dir : t -> string

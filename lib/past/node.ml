@@ -23,6 +23,7 @@ type config = {
   t_pri : float;
   t_div : float;
   replication_delay : float;
+  pull_on_rejoin : bool;
 }
 
 let default_config =
@@ -36,6 +37,7 @@ let default_config =
     t_pri = 0.1;
     t_div = 0.05;
     replication_delay = 50.0;
+    pull_on_rejoin = false;
   }
 
 (* Root-side bookkeeping for lookups the root must satisfy by fetching
@@ -461,12 +463,52 @@ let schedule_re_replication t =
         re_replicate t)
   end
 
+(* The clockwise arc of fileIds this node may be a replica holder for,
+   bounded by its leaf-set extremes (fileIds are 160-bit; nodeIds are
+   widened by appending zero bytes, the numerically smallest fileId the
+   node routes). A leaf set too small to have both extremes means the
+   node may be responsible for anything: the full ring ([lo = hi]). *)
+let file_width_of_node_id id =
+  Id.of_bytes (Bytes.cat (Id.to_bytes id) (Bytes.make ((Id.file_bits - Id.node_bits) / 8) '\000'))
+
+let responsible_range t =
+  let ls = PNode.leaf_set t.pastry in
+  match (Leaf_set.extreme_smaller ls, Leaf_set.extreme_larger ls) with
+  | Some lo, Some hi when lo.Peer.addr <> hi.Peer.addr ->
+    (file_width_of_node_id lo.Peer.id, file_width_of_node_id hi.Peer.id)
+  | _ ->
+    let own = file_width_of_node_id (id t) in
+    (own, own)
+
+(* Ask every leaf-set neighbour to stream back the primary replicas in
+   this node's range — the pull half of failure recovery. The push half
+   ([re_replicate] on the neighbours) already repairs replica counts
+   over time; the pull converges a rejoining node in one round trip
+   instead of waiting for each neighbour's debounced repair pass. *)
+let pull_node_range t =
+  let lo, hi = responsible_range t in
+  List.iter
+    (fun (p : Peer.t) -> send t p (Wire.Range_pull { lo; hi; requester = self t }))
+    (Leaf_set.members (PNode.leaf_set t.pastry))
+
+let handle_range_pull t ~lo ~hi (requester : Peer.t) =
+  if requester.Peer.addr <> addr t then
+    Store.enumerate_range t.store ~lo ~hi (fun entry ->
+        match entry.Store.kind with
+        | Store.Diverted _ -> ()
+        | Store.Primary ->
+          Counter.incr t.c_rereplicate;
+          send t requester
+            (Wire.Replicate
+               { cert = entry.Store.cert; data = entry.Store.data; op = Trace.no_parent }))
+
 let notify_revived t =
   (* A crash may have swallowed a scheduled re-replication pass (the
      owner-gated thunk was skipped); clear the latch and run a fresh
      pass so files this node is root for regain their k copies. *)
   t.replication_scheduled <- false;
-  schedule_re_replication t
+  schedule_re_replication t;
+  if t.config.pull_on_rejoin then pull_node_range t
 
 let handle_replicate t (cert : Certificate.file) data ~op =
   if Store.mem t.store cert.Certificate.file_id then ()
@@ -569,15 +611,16 @@ let on_direct t ~from:_ (msg : Wire.t) =
     if not (Store.mem t.store cert.Certificate.file_id) then
       if Cache.offer t.cache ~cert ~data then point t ~span:op "cached_en_route"
   | Wire.Replicate { cert; data; op } -> handle_replicate t cert data ~op
+  | Wire.Range_pull { lo; hi; requester } -> handle_range_pull t ~lo ~hi requester
   | Wire.Insert _ | Wire.Lookup _ | Wire.Reclaim _ -> ()
 
-let attach ~pastry ~card ~brokers ~capacity ?(config = default_config) ?free_oracle () =
+let attach ~pastry ~card ~brokers ~capacity ?(config = default_config) ?backend ?free_oracle () =
   if brokers = [] then invalid_arg "Node.attach: need at least one trusted broker";
   let reg = Net.registry (PNode.net pastry) in
   let t =
     {
       pastry;
-      store = Store.create ~capacity ~t_pri:config.t_pri ~t_div:config.t_div ();
+      store = Store.create ~capacity ~t_pri:config.t_pri ~t_div:config.t_div ?backend ();
       cache = Cache.create config.cache_policy;
       card;
       brokers;

@@ -23,6 +23,11 @@ type config = {
   t_div : float;
   replication_delay : float;
       (** debounce before re-replicating after a leaf-set change *)
+  pull_on_rejoin : bool;
+      (** on revival, additionally {e pull} the node range's content
+          from leaf-set neighbours (a {!Wire.t.Range_pull} per
+          neighbour) instead of relying only on their debounced repair
+          pushes; off by default *)
 }
 
 val default_config : config
@@ -35,6 +40,7 @@ val attach :
   brokers:Signer.public list ->
   capacity:int ->
   ?config:config ->
+  ?backend:Store.backend ->
   ?free_oracle:(Past_simnet.Net.addr -> int option) ->
   unit ->
   t

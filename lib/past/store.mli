@@ -9,21 +9,46 @@
     [t_div] for diverted replicas — this biases rejections toward large
     files and leaves room for many small ones, which is what lets
     global utilization approach 100%% with few rejections. A node that
-    diverts a replica keeps a {e pointer} to the actual holder. *)
+    diverts a replica keeps a {e pointer} to the actual holder.
 
-type kind = Primary | Diverted of { on_behalf : Past_id.Id.t }
+    This module owns the policy only; the entries themselves live in a
+    pluggable {!Store_backend} — the in-memory table, or the disk-backed
+    {!Log_store} that holds millions of files in bounded RAM. Policy
+    decisions, capacity accounting and observer events are identical
+    across backends. *)
 
-type entry = { cert : Certificate.file; data : string; kind : kind }
+type kind = Store_backend.kind = Primary | Diverted of { on_behalf : Past_id.Id.t }
+
+type entry = Store_backend.entry = { cert : Certificate.file; data : string; kind : kind }
+
+type backend =
+  | Mem
+  | Log of { dir : string option; segment_target : int option }
+      (** [dir = None] uses a scratch directory, deleted on {!close};
+          see {!Log_store.create}. *)
+
+val default_backend : unit -> backend
+(** [Log {...}] when the [PAST_STORE] environment variable is ["log"]
+    ([dir] from [PAST_STORE_DIR] semantics inside {!Log_store}), [Mem]
+    otherwise (including when unset or ["mem"]). Raises on other
+    values. *)
 
 type t
 
-val create : capacity:int -> ?t_pri:float -> ?t_div:float -> unit -> t
+val create : capacity:int -> ?t_pri:float -> ?t_div:float -> ?backend:backend -> unit -> t
 (** Thresholds default to the companion paper's values
-    [t_pri = 0.1], [t_div = 0.05]. *)
+    [t_pri = 0.1], [t_div = 0.05]. [backend] defaults to
+    {!default_backend}[ ()]. *)
+
+val backend_name : t -> string
 
 val capacity : t -> int
 val used : t -> int
+
 val free : t -> int
+(** Never negative: [used <= capacity] is a store invariant (monitored
+    in {!System}), and [free] saturates at 0 besides. *)
+
 val utilization : t -> float
 val file_count : t -> int
 
@@ -31,12 +56,16 @@ val admits : t -> size:int -> kind:[ `Primary | `Diverted ] -> bool
 (** The threshold admission rule (no side effects). *)
 
 val put : t -> cert:Certificate.file -> data:string -> kind:kind -> (unit, [ `Refused ]) result
-(** Store a replica if the admission rule allows. Duplicate fileIds
-    overwrite (idempotent re-replication). *)
+(** Store a replica if the admission rule allows. A duplicate fileId
+    overwrites (idempotent re-replication) and is admitted against the
+    {e size delta}: the replacement must fit in [free + old_size], with
+    no threshold check — replacing a replica never counts as a new
+    one, but it must not breach capacity either. *)
 
 val force_put : t -> cert:Certificate.file -> data:string -> kind:kind -> (unit, [ `Refused ]) result
-(** Store bypassing the threshold rule (still bounded by capacity) —
-    the no-storage-management baseline. *)
+(** Store bypassing the threshold rule (still bounded by capacity, and
+    by the same size-delta rule for duplicate fileIds) — the
+    no-storage-management baseline. *)
 
 val get : t -> Past_id.Id.t -> entry option
 val mem : t -> Past_id.Id.t -> bool
@@ -46,6 +75,26 @@ val remove : t -> Past_id.Id.t -> entry option
 
 val entries : t -> entry list
 val iter : t -> (entry -> unit) -> unit
+
+val iter_sizes : t -> (int -> unit) -> unit
+(** Iterate declared sizes only — no entry materialisation (and no disk
+    reads on the log backend); the quota-conservation monitor audits
+    [used] with this. *)
+
+val enumerate_range : t -> lo:Past_id.Id.t -> hi:Past_id.Id.t -> (entry -> unit) -> unit
+(** Entries whose fileId lies on the clockwise half-open arc [\[lo, hi)]
+    (fileId-width ids; [lo = hi] is the full ring) — node-range content
+    enumeration for join/leave handoff. *)
+
+val flush : t -> unit
+(** Push buffered backend writes to durable storage (no-op on [Mem]). *)
+
+val close : t -> unit
+(** Release backend resources (file handles, scratch directories). The
+    store must not be used afterwards. *)
+
+val log_stats : t -> Log_store.stats option
+(** Segment/compaction counters when the backend is a log store. *)
 
 type event = Added of Certificate.file | Removed of Certificate.file
 

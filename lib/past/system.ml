@@ -210,21 +210,30 @@ let install_monitors t =
             incr cursor;
             let store = Node.store node in
             let sum = ref 0 in
-            Store.iter store (fun e -> sum := !sum + e.Store.cert.Certificate.size);
+            Store.iter_sizes store (fun size -> sum := !sum + size);
             let used = Store.used store in
-            if used <> !sum || used > Store.capacity store then
+            (* [used > capacity] and [free < 0] are the capacity-
+               accounting holes this monitor exists to catch: the
+               delta-admission rule in [Store.put] must make them
+               unreachable for any put/replace/remove/reclaim
+               interleaving. *)
+            if
+              used <> !sum || used > Store.capacity store || Store.free store < 0
+              || Store.utilization store > 1.0
+            then
               res :=
                 Error
-                  (Printf.sprintf "node %s: used=%d but sum(entries)=%d, capacity=%d"
-                     (Id.short (Node.id node)) used !sum (Store.capacity store))
+                  (Printf.sprintf "node %s: used=%d but sum(entries)=%d, capacity=%d, free=%d"
+                     (Id.short (Node.id node)) used !sum (Store.capacity store)
+                     (Store.free store))
           done;
           !res
         end)
   end
 
 let create ?pastry_config ?(node_config = Node.default_config) ?topology
-    ?(crypto_mode = `Insecure) ?build ?loss_rate ?(broker_count = 1) ?trace_capacity ?par ~seed
-    ~n ~node_capacity () =
+    ?(crypto_mode = `Insecure) ?build ?loss_rate ?(broker_count = 1) ?trace_capacity ?par
+    ?store_backend ~seed ~n ~node_capacity () =
   if n < 1 then invalid_arg "System.create: need at least one node";
   if broker_count < 1 then invalid_arg "System.create: need at least one broker";
   let rng = Rng.create seed in
@@ -279,7 +288,8 @@ let create ?pastry_config ?(node_config = Node.default_config) ?topology
     in
     let pastry = Overlay.add_node_with_id overlay ~id:(Smartcard.node_id card) in
     let node =
-      Node.attach ~pastry ~card ~brokers:trusted ~capacity ~config:node_config ~free_oracle ()
+      Node.attach ~pastry ~card ~brokers:trusted ~capacity ~config:node_config
+        ?backend:store_backend ~free_oracle ()
     in
     Hashtbl.replace t.by_addr (PNode.addr pastry) node;
     node
@@ -322,4 +332,8 @@ let revive_node t node =
   Node.notify_revived node
 let start_maintenance t = Overlay.start_maintenance t.overlay
 let stop_maintenance t = Overlay.stop_maintenance t.overlay
-let shutdown t = Net.shutdown (net t)
+let shutdown t =
+  (* Release backend resources first: the disk-backed store holds open
+     segment file handles (and possibly a scratch directory) per node. *)
+  Array.iter (fun node -> Store.close (Node.store node)) t.nodes;
+  Net.shutdown (net t)

@@ -18,6 +18,7 @@ val create :
   ?broker_count:int ->
   ?trace_capacity:int ->
   ?par:Past_simnet.Net.par ->
+  ?store_backend:Store.backend ->
   seed:int ->
   n:int ->
   node_capacity:(int -> Past_stdext.Rng.t -> int) ->
@@ -36,7 +37,9 @@ val create :
     alongside Pastry's. [par] selects the network's execution engine
     (see {!Past_simnet.Net.create}); under [`Domains _] the free-space
     oracle answers from a per-window snapshot so results are
-    independent of the worker count. *)
+    independent of the worker count. [store_backend] selects every
+    node's replica storage backend (default {!Store.default_backend},
+    i.e. the [PAST_STORE] environment variable). *)
 
 val overlay : t -> Wire.t Past_pastry.Overlay.t
 
@@ -99,6 +102,7 @@ val start_maintenance : t -> unit
 val stop_maintenance : t -> unit
 
 val shutdown : t -> unit
-(** Tear down the network's worker-domain pool, if any (see
-    {!Past_simnet.Net.shutdown}). Idempotent; call when done with a
-    [`Domains _] system. *)
+(** Close every node's store (file handles and scratch directories of
+    disk-backed stores) and tear down the network's worker-domain
+    pool, if any (see {!Past_simnet.Net.shutdown}). The system must
+    not be used afterwards. *)

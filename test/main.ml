@@ -19,6 +19,7 @@ let () =
       Test_pastry_overlay.suite;
       Test_certificates.suite;
       Test_store_cache.suite;
+      Test_log_store.suite;
       Test_past_system.suite;
       Test_workload.suite;
       Test_experiments.suite;

@@ -65,6 +65,35 @@ let declared_size_override () =
     check Alcotest.int "quota charged on declared size" 10_000 (Smartcard.used card)
   | Error _ -> Alcotest.fail "should fit"
 
+let zero_size_cert_rejected () =
+  (* A zero- or negative-size certificate would hold a replica slot on
+     k nodes while evading every quota and admission check (size <=
+     t * free admits size 0 against any free space, including 0). *)
+  let keypair = Signer.generate (Rng.create 51) ~mode:`Insecure in
+  let make size =
+    ignore
+      (Cert.make_file ~keypair ~owner:(Signer.public keypair) ~owner_endorsement:Bytes.empty
+         ~name:"empty" ~data:"" ?declared_size:size ~replication:1 ~salt:"s" ~now:0.0 ())
+  in
+  let contains msg sub =
+    let n = String.length sub in
+    let ok = ref false in
+    for i = 0 to String.length msg - n do
+      if String.sub msg i n = sub then ok := true
+    done;
+    !ok
+  in
+  let rejects size =
+    match make size with
+    | () -> false
+    | exception Invalid_argument msg ->
+      (* the error must report the offending value *)
+      contains msg (string_of_int (Option.get size))
+  in
+  check Alcotest.bool "size 0 (empty data)" true (rejects (Some 0));
+  check Alcotest.bool "negative declared size" true (rejects (Some (-7)));
+  make (Some 1) (* smallest legal size still fine *)
+
 (* --- store receipts --- *)
 
 let store_receipt_roundtrip () =
@@ -208,6 +237,7 @@ let suite =
       "file cert content mismatch" => file_cert_content_mismatch;
       "fileId depends on salt" => file_id_depends_on_salt;
       "declared size override" => declared_size_override;
+      "zero-size certificate rejected" => zero_size_cert_rejected;
       "store receipt" => store_receipt_roundtrip;
       "reclaim owner binding" => reclaim_cert_owner_binding;
       "reclaim receipt" => reclaim_receipt_roundtrip;

@@ -1,0 +1,334 @@
+(* The disk-backed log-structured store: backend equivalence against
+   the in-memory oracle, compaction accounting, crash recovery. *)
+
+module Store = Past_core.Store
+module Log_store = Past_core.Log_store
+module Store_backend = Past_core.Store_backend
+module Cert = Past_core.Certificate
+module Signer = Past_crypto.Signer
+module Id = Past_id.Id
+module Rng = Past_stdext.Rng
+
+let check = Alcotest.check
+let ( => ) name f = Alcotest.test_case name `Quick f
+
+let keypair = lazy (Signer.generate (Rng.create 70) ~mode:`Insecure)
+
+(* Fixed salt: the fileId is a function of the name alone, so tests can
+   re-insert and remove the same id at different sizes. *)
+let cert ?(data = "") ?salt ?(replication = 3) ~name ~size () =
+  let keypair = Lazy.force keypair in
+  let salt = match salt with Some s -> s | None -> "salt" in
+  Cert.make_file ~keypair ~owner:(Signer.public keypair)
+    ~owner_endorsement:(Bytes.of_string "endorsed") ~name ~data ~declared_size:size ~replication
+    ~salt ~now:3.25 ()
+
+let entry ?(data = "payload") ?(kind = Store_backend.Primary) ~name ~size () =
+  { Store_backend.cert = cert ~data ~name ~size (); data; kind }
+
+let fid name = (cert ~name ~size:1 ()).Cert.file_id
+
+(* A scratch directory under the build dir, so tests never depend on
+   the environment's temp handling. *)
+let scratch_counter = ref 0
+
+let scratch_dir () =
+  incr scratch_counter;
+  let d = Printf.sprintf "_log_store_test_%d_%d" (Unix.getpid ()) !scratch_counter in
+  (try Sys.mkdir d 0o755 with Sys_error _ -> ());
+  d
+
+let rm_rf d =
+  (try Array.iter (fun f -> Sys.remove (Filename.concat d f)) (Sys.readdir d)
+   with Sys_error _ -> ());
+  try Sys.rmdir d with Sys_error _ -> ()
+
+(* --- codec / basic backend behaviour ---------------------------------- *)
+
+let roundtrip_entry () =
+  let ls = Log_store.create () in
+  let diverted = Store_backend.Diverted { on_behalf = Id.random (Rng.create 1) ~width:128 } in
+  let e = entry ~data:"some bytes \x00\xff with binary" ~kind:diverted ~name:"rt" ~size:123 () in
+  Log_store.put ls e;
+  (match Log_store.get ls e.Store_backend.cert.Cert.file_id with
+  | None -> Alcotest.fail "stored entry missing"
+  | Some got ->
+    check Alcotest.bool "cert round-trips" true (got.Store_backend.cert = e.Store_backend.cert);
+    check Alcotest.string "data round-trips" e.Store_backend.data got.Store_backend.data;
+    check Alcotest.bool "kind round-trips" true (got.Store_backend.kind = diverted);
+    check Alcotest.bool "signature still verifies" true
+      (Cert.verify_file got.Store_backend.cert));
+  check (Alcotest.option Alcotest.int) "size_of" (Some 123)
+    (Log_store.size_of ls e.Store_backend.cert.Cert.file_id);
+  Log_store.close ls
+
+let remove_and_tombstone () =
+  let ls = Log_store.create () in
+  Log_store.put ls (entry ~name:"a" ~size:10 ());
+  Log_store.put ls (entry ~name:"b" ~size:20 ());
+  (match Log_store.remove ls (fid "a") with
+  | Some e -> check Alcotest.int "removed size" 10 e.Store_backend.cert.Cert.size
+  | None -> Alcotest.fail "remove returned nothing");
+  check Alcotest.bool "second remove none" true (Log_store.remove ls (fid "a") = None);
+  check Alcotest.int "one left" 1 (Log_store.length ls);
+  check Alcotest.bool "b still there" true (Log_store.mem ls (fid "b"));
+  Log_store.close ls
+
+let enumerate_range_arcs () =
+  let ls = Log_store.create () in
+  for i = 1 to 20 do
+    Log_store.put ls (entry ~name:(Printf.sprintf "e%d" i) ~size:i ())
+  done;
+  let all = ref 0 in
+  let some_id = fid "e7" in
+  Log_store.iter ls (fun _ -> incr all);
+  check Alcotest.int "iter sees all" 20 !all;
+  (* lo = hi: the full ring (Id.is_between_cw semantics) *)
+  let full = ref 0 in
+  Log_store.enumerate_range ls ~lo:some_id ~hi:some_id (fun _ -> incr full);
+  check Alcotest.int "degenerate arc is full ring" 20 !full;
+  (* a one-entry arc [id, id+1) *)
+  let one = ref 0 in
+  Log_store.enumerate_range ls ~lo:some_id ~hi:(Id.add_int some_id 1) (fun e ->
+      incr one;
+      check Alcotest.bool "the right entry" true
+        (Id.equal e.Store_backend.cert.Cert.file_id some_id));
+  check Alcotest.int "singleton arc" 1 !one;
+  (* complement arc [id+1, id) has the other 19 *)
+  let rest = ref 0 in
+  Log_store.enumerate_range ls ~lo:(Id.add_int some_id 1) ~hi:some_id (fun _ -> incr rest);
+  check Alcotest.int "complement arc" 19 !rest;
+  Log_store.close ls
+
+(* --- compaction -------------------------------------------------------- *)
+
+let compaction_reclaims_garbage () =
+  (* Tiny segments force frequent automatic compaction; replacing one
+     id over and over generates pure garbage. *)
+  let ls = Log_store.create ~segment_target:2_048 () in
+  for i = 1 to 500 do
+    Log_store.put ls (entry ~data:(String.make 64 'x') ~name:"hot" ~size:i ())
+  done;
+  let st = Log_store.stats ls in
+  check Alcotest.int "one live entry" 1 st.Log_store.entry_count;
+  check Alcotest.bool "compactions happened" true (st.Log_store.compactions > 0);
+  (* dead bytes are bounded by the trigger: garbage <= max(live, target) + slack *)
+  check Alcotest.bool "garbage bounded" true
+    (st.Log_store.disk_bytes - st.Log_store.live_bytes <= 2 * 2_048 + st.Log_store.live_bytes);
+  (match Log_store.get ls (fid "hot") with
+  | Some e -> check Alcotest.int "latest version survives" 500 e.Store_backend.cert.Cert.size
+  | None -> Alcotest.fail "entry lost in compaction");
+  Log_store.close ls
+
+let explicit_compaction_exact () =
+  let ls = Log_store.create () in
+  for i = 1 to 50 do
+    Log_store.put ls (entry ~name:(Printf.sprintf "k%d" i) ~size:(i * 10) ())
+  done;
+  for i = 1 to 25 do
+    ignore (Log_store.remove ls (fid (Printf.sprintf "k%d" i)))
+  done;
+  let before = Log_store.stats ls in
+  check Alcotest.bool "garbage exists" true (before.Log_store.disk_bytes > before.Log_store.live_bytes);
+  Log_store.compact ls;
+  let after = Log_store.stats ls in
+  check Alcotest.int "live entries unchanged" 25 after.Log_store.entry_count;
+  check Alcotest.int "zero garbage after compaction" after.Log_store.live_bytes
+    after.Log_store.disk_bytes;
+  check Alcotest.int "live bytes preserved" before.Log_store.live_bytes after.Log_store.live_bytes;
+  for i = 26 to 50 do
+    match Log_store.get ls (fid (Printf.sprintf "k%d" i)) with
+    | Some e -> check Alcotest.int "size intact" (i * 10) e.Store_backend.cert.Cert.size
+    | None -> Alcotest.fail "live entry lost"
+  done;
+  Log_store.close ls
+
+(* --- crash recovery ---------------------------------------------------- *)
+
+let snapshot ls =
+  let acc = ref [] in
+  Log_store.iter ls (fun e ->
+      acc :=
+        ( Id.to_hex e.Store_backend.cert.Cert.file_id,
+          e.Store_backend.cert.Cert.size,
+          e.Store_backend.data,
+          e.Store_backend.kind )
+        :: !acc);
+  List.sort compare !acc
+
+let reopen_restores_state () =
+  let dir = scratch_dir () in
+  let ls = Log_store.create ~dir () in
+  for i = 1 to 100 do
+    Log_store.put ls (entry ~data:(Printf.sprintf "payload-%d" i) ~name:(Printf.sprintf "f%d" i) ~size:i ())
+  done;
+  for i = 1 to 40 do
+    ignore (Log_store.remove ls (fid (Printf.sprintf "f%d" i)))
+  done;
+  let before = snapshot ls in
+  let used_before = Log_store.stats ls in
+  Log_store.close ls;
+  let ls2 = Log_store.create ~dir () in
+  check Alcotest.int "entry count rebuilt" used_before.Log_store.entry_count
+    (Log_store.length ls2);
+  check Alcotest.bool "state identical after reopen" true (snapshot ls2 = before);
+  Log_store.close ls2;
+  rm_rf dir
+
+let reopen_mid_compaction () =
+  (* Crash at the worst recovery point: new chain fully written, old
+     chain not yet unlinked. Replay of both must land on the same
+     state. *)
+  let dir = scratch_dir () in
+  let ls = Log_store.create ~dir ~segment_target:1_024 () in
+  for i = 1 to 60 do
+    Log_store.put ls (entry ~data:(String.make 32 'd') ~name:(Printf.sprintf "g%d" (i mod 20)) ~size:i ())
+  done;
+  ignore (Log_store.remove ls (fid "g3"));
+  ignore (Log_store.remove ls (fid "g7"));
+  let before = snapshot ls in
+  Log_store.compact ~crash_before_cleanup:true ls;
+  (* both chains now on disk; the store is dead *)
+  (match Log_store.put ls (entry ~name:"x" ~size:1 ()) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "crashed store accepted a put");
+  let ls2 = Log_store.create ~dir () in
+  check Alcotest.bool "index rebuilds identically over both chains" true
+    (snapshot ls2 = before);
+  (* the recovered store keeps working: replace and read back *)
+  Log_store.put ls2 (entry ~data:"fresh" ~name:"g5" ~size:999 ());
+  (match Log_store.get ls2 (fid "g5") with
+  | Some e -> check Alcotest.int "post-recovery write" 999 e.Store_backend.cert.Cert.size
+  | None -> Alcotest.fail "post-recovery entry missing");
+  Log_store.close ls2;
+  rm_rf dir
+
+let torn_tail_truncated () =
+  let dir = scratch_dir () in
+  let ls = Log_store.create ~dir () in
+  for i = 1 to 10 do
+    Log_store.put ls (entry ~name:(Printf.sprintf "t%d" i) ~size:i ())
+  done;
+  let before = snapshot ls in
+  Log_store.close ls;
+  (* simulate a torn write: append garbage to the active segment *)
+  let seg =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".log")
+    |> List.sort compare |> List.rev |> List.hd
+  in
+  let path = Filename.concat dir seg in
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+  output_string oc "\xa5\x01\xff\xff";
+  (* valid magic, then a truncated header/payload *)
+  close_out oc;
+  let ls2 = Log_store.create ~dir () in
+  check Alcotest.bool "torn tail dropped, prefix intact" true (snapshot ls2 = before);
+  (* the store appends over the truncated tail without corruption *)
+  Log_store.put ls2 (entry ~name:"t11" ~size:11 ());
+  Log_store.close ls2;
+  let ls3 = Log_store.create ~dir () in
+  check Alcotest.int "append after truncation replays" 11 (Log_store.length ls3);
+  Log_store.close ls3;
+  rm_rf dir
+
+(* --- mem/log equivalence through the Store front-end ------------------- *)
+
+type op = Put of int * int | Force_put of int * int | Remove of int | Reclaim of int
+
+let op_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map2 (fun s z -> Put (s, z)) (int_range 0 7) (int_range 1 300);
+        map2 (fun s z -> Force_put (s, z)) (int_range 0 7) (int_range 1 300);
+        map (fun s -> Remove s) (int_range 0 7);
+        map (fun s -> Reclaim s) (int_range 0 7);
+      ])
+
+let arb_ops = QCheck.make ~print:(fun l -> string_of_int (List.length l)) QCheck.Gen.(list_size (int_range 0 60) op_gen)
+
+let apply_op store op =
+  let name_of slot = Printf.sprintf "q%d" slot in
+  match op with
+  | Put (slot, size) ->
+    ignore (Store.put store ~cert:(cert ~name:(name_of slot) ~size ()) ~data:"d" ~kind:Store.Primary)
+  | Force_put (slot, size) ->
+    ignore
+      (Store.force_put store
+         ~cert:(cert ~name:(name_of slot) ~size ())
+         ~data:"d"
+         ~kind:(Store.Diverted { on_behalf = Id.zero ~width:128 }))
+  | Remove slot | Reclaim slot -> ignore (Store.remove store (fid (name_of slot)))
+
+let observed store ops =
+  (* Run the op sequence and collect every observable: the full event
+     stream, the final accounting, and the sorted entry set. *)
+  let events = ref [] in
+  Store.set_observer store (fun ev ->
+      events :=
+        (match ev with
+        | Store.Added c -> ("add", Id.to_hex c.Cert.file_id, c.Cert.size)
+        | Store.Removed c -> ("rem", Id.to_hex c.Cert.file_id, c.Cert.size))
+        :: !events);
+  List.iter (apply_op store) ops;
+  let entries =
+    Store.entries store
+    |> List.map (fun e ->
+           (Id.to_hex e.Store.cert.Cert.file_id, e.Store.cert.Cert.size, e.Store.data))
+    |> List.sort compare
+  in
+  (List.rev !events, Store.used store, Store.free store, Store.file_count store, entries)
+
+let qcheck_mem_log_equivalence =
+  QCheck.Test.make ~name:"mem and log backends are observably identical" ~count:60 arb_ops
+    (fun ops ->
+      let mem = Store.create ~capacity:2_000 ~backend:Store.Mem () in
+      let log =
+        (* a tiny segment target so compactions fire mid-sequence and
+           must stay invisible *)
+        Store.create ~capacity:2_000
+          ~backend:(Store.Log { dir = None; segment_target = Some 1_024 })
+          ()
+      in
+      let a = observed mem ops in
+      let b = observed log ops in
+      Store.close mem;
+      Store.close log;
+      a = b)
+
+let front_end_on_log_backend () =
+  (* The Store policy checks work unchanged over the disk backend. *)
+  let s =
+    Store.create ~capacity:1000 ~t_pri:0.1
+      ~backend:(Store.Log { dir = None; segment_target = None })
+      ()
+  in
+  check Alcotest.string "backend name" "log" (Store.backend_name s);
+  (match Store.put s ~cert:(cert ~name:"a" ~size:500 ()) ~data:"" ~kind:Store.Primary with
+  | Ok () -> Alcotest.fail "threshold must refuse"
+  | Error `Refused -> ());
+  (match Store.put s ~cert:(cert ~name:"a" ~size:100 ()) ~data:"" ~kind:Store.Primary with
+  | Ok () -> ()
+  | Error `Refused -> Alcotest.fail "within threshold");
+  (match Store.put s ~cert:(cert ~name:"a" ~size:1001 ()) ~data:"" ~kind:Store.Primary with
+  | Ok () -> Alcotest.fail "replacement must not breach capacity"
+  | Error `Refused -> ());
+  check Alcotest.int "used" 100 (Store.used s);
+  check Alcotest.bool "stats exposed" true (Store.log_stats s <> None);
+  Store.close s
+
+let suite =
+  ( "log-store",
+    [
+      "entry round-trip" => roundtrip_entry;
+      "remove / tombstone" => remove_and_tombstone;
+      "enumerate_range arcs" => enumerate_range_arcs;
+      "compaction reclaims garbage" => compaction_reclaims_garbage;
+      "explicit compaction exact" => explicit_compaction_exact;
+      "reopen restores state" => reopen_restores_state;
+      "reopen mid-compaction" => reopen_mid_compaction;
+      "torn tail truncated" => torn_tail_truncated;
+      QCheck_alcotest.to_alcotest qcheck_mem_log_equivalence;
+      "front-end on log backend" => front_end_on_log_backend;
+    ] )

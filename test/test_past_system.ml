@@ -343,6 +343,49 @@ let qcheck_insert_quota_never_leaks =
       && Smartcard.used card = expect1 + expect2
       && Smartcard.used card <= Smartcard.quota card)
 
+(* A revived node converges in one Range_pull round trip even when the
+   neighbours' debounced push repair never fires within the test
+   horizon (replication_delay is set far beyond it); a control run
+   without pull_on_rejoin shows the pull is what restores the range. *)
+let rejoin_pull_restores_range ~pull () =
+  let node_config =
+    {
+      Node.default_config with
+      Node.verify_certificates = false;
+      pull_on_rejoin = pull;
+      replication_delay = 1e12;
+    }
+  in
+  let sys =
+    System.create ~node_config ~seed:76 ~n:12 ~crypto_mode:`Insecure
+      ~node_capacity:(fun _ _ -> 10_000_000)
+      ()
+  in
+  let victim = (System.nodes sys).(0) in
+  System.kill_node sys victim;
+  let client = System.new_client sys ~quota:max_int () in
+  let inserted = ref [] in
+  for i = 1 to 20 do
+    match Client.insert_sync client ~name:(Printf.sprintf "while-down-%d" i) ~data:"d" ~k:3 () with
+    | Client.Inserted { file_id; _ } -> inserted := file_id :: !inserted
+    | Client.Insert_failed _ -> ()
+  done;
+  check Alcotest.bool "some inserts landed while the node was down" true
+    (List.length !inserted >= 10);
+  check Alcotest.int "victim store empty before revival" 0
+    (Store.file_count (Node.store victim));
+  System.revive_node sys victim;
+  System.run ~until:(Net.now (System.net sys) +. 50_000.0) sys;
+  let pulled =
+    List.length (List.filter (fun id -> Store.mem (Node.store victim) id) !inserted)
+  in
+  if pull then
+    check Alcotest.bool
+      (Printf.sprintf "revived node pulled its range (%d/%d files)" pulled
+         (List.length !inserted))
+      true (pulled > 0)
+  else check Alcotest.int "no pull, no push: store stays empty" 0 pulled
+
 let suite =
   ( "past-system",
     [
@@ -361,5 +404,7 @@ let suite =
       "dynamic build" => dynamic_build_system;
       "insecure crypto mode" => insecure_crypto_mode_works;
       "lookup retries route around droppers" => lookup_retries_route_around_droppers;
+      "rejoin pull restores node range" => rejoin_pull_restores_range ~pull:true;
+      "rejoin without pull stays empty" => rejoin_pull_restores_range ~pull:false;
       QCheck_alcotest.to_alcotest qcheck_insert_quota_never_leaks;
     ] )

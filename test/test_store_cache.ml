@@ -32,6 +32,19 @@ let cert_of_size size =
   | Ok c -> c
   | Error _ -> assert false
 
+(* Same-id certificates of controlled sizes (fixed salt, so the fileId
+   depends only on the name): replacement/delta-admission tests need to
+   re-insert one fileId at a different size, which [cert_of_size]'s
+   fresh names cannot do. *)
+let replace_keypair = lazy (Past_crypto.Signer.generate (Rng.create 61) ~mode:`Insecure)
+
+let cert_named name size =
+  let keypair = Lazy.force replace_keypair in
+  Cert.make_file ~keypair
+    ~owner:(Past_crypto.Signer.public keypair)
+    ~owner_endorsement:Bytes.empty ~name ~data:"" ~declared_size:size ~replication:1 ~salt:"s"
+    ~now:0.0 ()
+
 (* --- Store --- *)
 
 let store_accounting () =
@@ -118,6 +131,62 @@ let store_pointers () =
   check Alcotest.int "count" 1 (Store.pointer_count s);
   Store.remove_pointer s fid;
   check Alcotest.bool "removed" true (Store.pointer s fid = None)
+
+let store_replace_delta_admission () =
+  (* Replacing a stored fileId is admitted against the size delta only
+     (no threshold), but capacity stays a hard bound. The historical
+     bug: any same-id put was admitted unconditionally, so a replace
+     sequence could push used past capacity. *)
+  let s = Store.create ~capacity:1000 ~t_pri:0.1 () in
+  (match Store.put s ~cert:(cert_named "a" 100) ~data:"" ~kind:Store.Primary with
+  | Ok () -> ()
+  | Error `Refused -> Alcotest.fail "fresh insert within threshold");
+  (* grow: delta 800 <= free 900, despite 900 >> t_pri * free *)
+  (match Store.put s ~cert:(cert_named "a" 900) ~data:"" ~kind:Store.Primary with
+  | Ok () -> ()
+  | Error `Refused -> Alcotest.fail "delta fits");
+  check Alcotest.int "used tracks replacement" 900 (Store.used s);
+  (* grow to exactly full *)
+  (match Store.put s ~cert:(cert_named "a" 1000) ~data:"" ~kind:Store.Primary with
+  | Ok () -> ()
+  | Error `Refused -> Alcotest.fail "fills exactly");
+  check Alcotest.int "full" 1000 (Store.used s);
+  (* any further growth must refuse — this is the regression *)
+  (match Store.put s ~cert:(cert_named "a" 1001) ~data:"" ~kind:Store.Primary with
+  | Ok () -> Alcotest.fail "breached capacity via replacement"
+  | Error `Refused -> ());
+  (match Store.force_put s ~cert:(cert_named "a" 1001) ~data:"" ~kind:Store.Primary with
+  | Ok () -> Alcotest.fail "force_put breached capacity via replacement"
+  | Error `Refused -> ());
+  check Alcotest.int "used unchanged after refusals" 1000 (Store.used s);
+  check Alcotest.int "file count" 1 (Store.file_count s);
+  (* shrink always fits *)
+  (match Store.put s ~cert:(cert_named "a" 10) ~data:"" ~kind:Store.Primary with
+  | Ok () -> ()
+  | Error `Refused -> Alcotest.fail "shrinking replacement fits");
+  check Alcotest.int "shrunk" 10 (Store.used s);
+  check Alcotest.int "free saturated sanely" 990 (Store.free s)
+
+let qcheck_store_replace_sequences =
+  (* Adversarial interleavings of insert/replace/remove over a handful
+     of fileIds: used <= capacity and free >= 0 must hold at every
+     step, and used must equal the sum of stored sizes. *)
+  QCheck.Test.make ~name:"store accounting under adversarial replaces" ~count:200
+    QCheck.(list (pair (int_range 0 5) (int_range (-50) 400)))
+    (fun ops ->
+      let s = Store.create ~capacity:1000 () in
+      List.for_all
+        (fun (slot, size) ->
+          let name = Printf.sprintf "slot%d" slot in
+          (if size <= 0 then ignore (Store.remove s (cert_named name 1).Cert.file_id)
+           else
+             let cert = cert_named name size in
+             if slot mod 2 = 0 then ignore (Store.put s ~cert ~data:"" ~kind:Store.Primary)
+             else ignore (Store.force_put s ~cert ~data:"" ~kind:Store.Primary));
+          let sum = ref 0 in
+          Store.iter_sizes s (fun sz -> sum := !sum + sz);
+          Store.used s <= Store.capacity s && Store.free s >= 0 && Store.used s = !sum)
+        ops)
 
 let qcheck_store_never_overflows =
   QCheck.Test.make ~name:"store never exceeds capacity" ~count:100
@@ -229,6 +298,8 @@ let suite =
       "store force_put" => store_force_put_ignores_threshold;
       "store diverted kind" => store_diverted_kind;
       "store pointers" => store_pointers;
+      "store replace delta admission" => store_replace_delta_admission;
+      QCheck_alcotest.to_alcotest qcheck_store_replace_sequences;
       QCheck_alcotest.to_alcotest qcheck_store_never_overflows;
       "cache no-cache policy" => cache_no_cache_policy;
       "cache stores and hits" => cache_stores_and_hits;
