@@ -28,7 +28,7 @@ let leaf_i = ref 0
 let leaf_insert_once () =
   (* A fresh leaf set every 64 inserts keeps the structure in its
      steady mixed state without unbounded growth. *)
-  let ls = Leaf_set.create ~config:Config.default ~own:leaf_own in
+  let ls = Leaf_set.create ~config:Config.default ~own:leaf_own () in
   for j = 0 to 31 do
     ignore (Leaf_set.add ls leaf_peers.((!leaf_i + j) mod 64))
   done;
@@ -36,12 +36,16 @@ let leaf_insert_once () =
 
 (* --- routing-table consider -------------------------------------------- *)
 
-let rt = Routing_table.create ~config:Config.default ~own:(Id.random rng ~width:Id.node_bits)
+let rt =
+  Routing_table.create ~config:Config.default
+    ~own:(Id.random rng ~width:Id.node_bits)
+    ~proximity:(fun a -> float_of_int (a land 0xff))
+    ()
 let rt_peers = Array.init 256 (fun i -> Peer.make ~id:(Id.random rng ~width:Id.node_bits) ~addr:i)
 let rt_i = ref 0
 
 let rt_consider_once () =
-  ignore (Routing_table.consider rt ~proximity:(fun a -> float_of_int (a land 0xff)) rt_peers.(!rt_i land 255));
+  ignore (Routing_table.consider rt rt_peers.(!rt_i land 255));
   incr rt_i
 
 (* --- store admission ---------------------------------------------------- *)

@@ -93,6 +93,22 @@ let nat_mod =
 let id_target = Id.random rng ~width:Id.node_bits
 let id_x = Id.random rng ~width:Id.node_bits
 let id_y = Id.random rng ~width:Id.node_bits
+
+(* The pre-byte-pair-table hex renderer (one shift/mask pair per
+   nibble), kept inline as the baseline `id to_hex` is measured
+   against. *)
+let hex_input_16b = String.init 16 (fun i -> Char.chr (((i * 37) + 5) land 0xff))
+
+let to_hex_per_nibble (s : string) =
+  let hex_digits = "0123456789abcdef" in
+  let n = String.length s in
+  let out = Bytes.create (2 * n) in
+  for i = 0 to n - 1 do
+    let v = Char.code (String.unsafe_get s i) in
+    Bytes.unsafe_set out (2 * i) (String.unsafe_get hex_digits (v lsr 4));
+    Bytes.unsafe_set out ((2 * i) + 1) (String.unsafe_get hex_digits (v land 0xf))
+  done;
+  Bytes.unsafe_to_string out
 let overlay = lazy (Harness_fixture.overlay 2000)
 let past_system = lazy (Harness_fixture.system 100)
 
@@ -122,6 +138,8 @@ let micro_tests () =
         (Staged.stage (fun () -> Id.closer ~target:id_target id_x id_y));
       Test.make ~name:"id to_hex"
         (Staged.stage (fun () -> Id.to_hex id_x));
+      Test.make ~name:"id to_hex (per-nibble baseline)"
+        (Staged.stage (fun () -> to_hex_per_nibble hex_input_16b));
       Test.make ~name:"id shared-prefix"
         (Staged.stage (fun () -> Id.shared_prefix_digits ~b:4 id_x id_y));
       Test.make ~name:"leaf-set insert x32" (Staged.stage Harness_fixture.leaf_insert_once);
@@ -364,6 +382,33 @@ let run_macro () =
      tables and neighborhoods for 2000 nodes. *)
   let ov, dt = timed (fun () -> Harness_fixture.overlay 2000) in
   row "overlay build (N=2000)" (dt *. 1e3) "ms";
+  (* Snapshot-bootstrap builds at scale: wall clock plus whole-sim
+     bytes/node from the Gc live-words delta. (Obj.reachable_words
+     would be quadratic here — every table reaches the overlay-shared
+     peer directory — and the compare-to row "overlay bytes/node,
+     pre-PR record layout" in BENCH_results.json was measured the same
+     live-words way before the packed tables landed.) *)
+  List.iter
+    (fun n ->
+      Gc.compact ();
+      let words0 = (Gc.stat ()).Gc.live_words in
+      let sv, dt =
+        timed (fun () ->
+            let sv : unit Past_pastry.Overlay.t =
+              Past_pastry.Overlay.create ~trace_capacity:0 ~seed:42 ()
+            in
+            Past_pastry.Overlay.build_snapshot sv ~n;
+            sv)
+      in
+      Gc.compact ();
+      let words1 = (Gc.stat ()).Gc.live_words in
+      row (Printf.sprintf "overlay snapshot build (N=%d)" n) (dt *. 1e3) "ms";
+      row
+        (Printf.sprintf "overlay bytes/node (N=%d)" n)
+        (float_of_int ((words1 - words0) * (Sys.word_size / 8) / n))
+        "bytes";
+      ignore (Sys.opaque_identity sv))
+    [ 2_000; 20_000; 100_000 ];
   (* Routed-lookup throughput: random key from a random origin, event
      loop run to quiescence per lookup — the EXP1-style hot path. *)
   let lookups = 5000 in

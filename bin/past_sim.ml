@@ -259,6 +259,100 @@ let megastore_cmd =
   Cmd.v (Cmd.info "megastore" ~doc)
     Term.(const f $ json_arg $ files_arg $ nodes_arg $ store_arg $ seed_arg $ monitors_arg)
 
+(* Dedicated `scale` command: EXP15 at 10^5–10^6 nodes over the
+   snapshot-bootstrap builder. Deliberately not part of `all` — the
+   top of the sweep takes minutes and gigabytes. *)
+let scale_cmd =
+  let module Exp_scale = Past_experiments.Exp_scale in
+  let doc =
+    "Run the mega-scale sweep (EXP15): build overlays at log-spaced sizes with the snapshot \
+     bootstrap, route random lookups, and fit hop-count and state-size growth against \
+     log_2^b N by least squares. Exits 1 when a fitted slope falls outside its analytic \
+     window."
+  in
+  let ns_arg =
+    let doc =
+      "Sweep sizes: either $(b,LO..HI) (log-spaced, see --points) or an explicit \
+       comma-separated list like $(b,2000,20000,100000)."
+    in
+    Arg.(value & opt string "2000..100000" & info [ "n"; "sizes" ] ~docv:"SPEC" ~doc)
+  in
+  let points_arg =
+    let doc = "Number of log-spaced sweep points for the LO..HI form (default 5)." in
+    Arg.(value & opt int 5 & info [ "points" ] ~docv:"K" ~doc)
+  in
+  let lookups_arg =
+    let doc = "Random lookups per sweep point (default 1000)." in
+    Arg.(value & opt int 1_000 & info [ "lookups" ] ~docv:"L" ~doc)
+  in
+  let tail_arg =
+    let doc =
+      "Fraction of each overlay joining through the real \194\1672.2 protocol rather than \
+       the snapshot (default 0.01)."
+    in
+    Arg.(value & opt float 0.01 & info [ "tail" ] ~docv:"F" ~doc)
+  in
+  let seed_arg =
+    let doc = "RNG seed (default 15); runs are a pure function of it." in
+    Arg.(value & opt int 15 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let tolerance_arg =
+    let doc = "Hop-slope tolerance: the fit must lie in [1-TOL, 1+TOL/4] (default 0.45)." in
+    Arg.(value & opt float 0.45 & info [ "tolerance" ] ~docv:"TOL" ~doc)
+  in
+  let parse_ns spec ~points =
+    let fail () =
+      prerr_endline "bad --n: expected LO..HI or a comma-separated list of sizes";
+      exit 2
+    in
+    let num s = match int_of_string_opt (String.trim s) with Some v when v > 1 -> v | _ -> fail () in
+    match String.index_opt spec '.' with
+    | Some _ -> (
+      match String.split_on_char '.' spec |> List.filter (fun s -> s <> "") with
+      | [ lo; hi ] ->
+        let lo = num lo and hi = num hi in
+        if lo > hi then fail () else Exp_scale.log_spaced ~lo ~hi ~k:(Stdlib.max 2 points)
+      | _ -> fail ())
+    | None -> (
+      match String.split_on_char ',' spec with
+      | [] -> fail ()
+      | parts -> List.map num parts)
+  in
+  let f json ns points lookups tail seed tolerance =
+    let params =
+      {
+        Exp_scale.ns = parse_ns ns ~points;
+        lookups;
+        dynamic_tail = tail;
+        rt_samples = 8;
+        seed;
+        hop_tolerance = tolerance;
+      }
+    in
+    let r = Exp_scale.run params in
+    let out =
+      Past_experiments.Report.tables
+        [
+          ( "EXP15: scaling sweep (C1 hops, C3 state vs log_2^b N)",
+            Exp_scale.table r );
+          ("EXP15: least-squares scaling fits", Exp_scale.fits_table r);
+        ]
+    in
+    if json then
+      print_endline
+        (Past_stdext.Json.to_string ~indent:true
+           (Past_experiments.Report.json_of_output ~trace:0 "scale" out))
+    else Past_experiments.Report.print_output ~trace:0 out;
+    if not (r.Exp_scale.hop_ok && r.Exp_scale.state_ok) then begin
+      prerr_endline "EXP15: fitted scaling slope outside its analytic window";
+      exit 1
+    end
+  in
+  Cmd.v (Cmd.info "scale" ~doc)
+    Term.(
+      const f $ json_arg $ ns_arg $ points_arg $ lookups_arg $ tail_arg $ seed_arg
+      $ tolerance_arg)
+
 let trace_cmd =
   let doc =
     "Run a small traced PAST workload (inserts, a crash with repair, cached lookups, a \
@@ -281,7 +375,7 @@ let () =
   let doc = "PAST reproduction: run the paper's experiments on the simulator" in
   let info = Cmd.info "past_sim" ~version:"1.0.0" ~doc in
   let subcommands =
-    all_cmd :: list_cmd :: metrics_cmd :: churn_cmd :: megastore_cmd :: trace_cmd
+    all_cmd :: list_cmd :: metrics_cmd :: churn_cmd :: megastore_cmd :: scale_cmd :: trace_cmd
     :: List.filter_map
          (fun (name, _) -> if name = "churn" then None else Some (run_cmd name))
          Past_experiments.Report.all

@@ -52,7 +52,9 @@ let run params =
         let overlay : Harness.probe Overlay.t =
           Overlay.create ~config ~seed:(params.seed + n) ()
         in
-        Overlay.build_dynamic overlay ~n;
+        (* Throwaway base overlay: batch the quiescence drain; the
+           joins being measured below run fully sequential. *)
+        Overlay.build_dynamic overlay ~quiesce_every:8 ~n;
         Overlay.install_apps overlay (fun _ -> Harness.null_app);
         (* Join cost: add join_samples more nodes, counting control
            messages around each join. *)

@@ -1,0 +1,33 @@
+(* Address → canonical peer record, shared by every table of an
+   overlay. The routing state of a node used to keep a [Peer.t]
+   pointer (and often a denormalized id string) per entry; at
+   mega-scale that is hundreds of words per node for records that are
+   all physically the same object — a node's [self]. Tables now store
+   the bare [int] address and resolve through this directory on the
+   (cold) paths that need the full peer. Addresses are never reused by
+   the simulator and a node's id never changes, so the first record
+   noted for an address is canonical forever. *)
+
+type t = { mutable peers : Peer.t array }
+
+(* Distinguished absent marker: compared with [==], never exposed. *)
+let dummy = Peer.make ~id:(Past_id.Id.zero ~width:Past_id.Id.node_bits) ~addr:(-1)
+
+let create () = { peers = Array.make 0 dummy }
+
+let note t (p : Peer.t) =
+  let a = p.Peer.addr in
+  if a >= 0 then begin
+    let len = Array.length t.peers in
+    if a >= len then begin
+      let fresh = Array.make (Stdlib.max (a + 1) (Stdlib.max 16 (2 * len))) dummy in
+      Array.blit t.peers 0 fresh 0 len;
+      t.peers <- fresh
+    end;
+    if t.peers.(a) == dummy then t.peers.(a) <- p
+  end
+
+let get t a =
+  let p = t.peers.(a) in
+  if p == dummy then invalid_arg "Directory.get: unknown address";
+  p

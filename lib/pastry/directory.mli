@@ -1,0 +1,20 @@
+(** Shared address → canonical peer directory.
+
+    Compact routing state ({!Routing_table}, {!Leaf_set},
+    {!Neighborhood}) stores bare [int] addresses; the directory maps
+    them back to the canonical [Peer.t] on the paths that need the
+    record. One directory is shared by every node of an overlay (the
+    simulator never reuses an address and a node's id never changes,
+    so the first peer noted for an address is canonical forever). *)
+
+type t
+
+val create : unit -> t
+
+val note : t -> Peer.t -> unit
+(** Record the peer under its address if the address is still unknown;
+    a no-op otherwise (and for negative placeholder addresses). *)
+
+val get : t -> Past_simnet.Net.addr -> Peer.t
+(** Resolve an address previously {!note}d.
+    @raise Invalid_argument on an unknown address. *)

@@ -1,27 +1,29 @@
 module Id = Past_id.Id
 
 (* Each side is kept sorted by ring distance from the own id, closest
-   first. Sides are flat parallel arrays rather than linked lists of
-   entry records: membership scans, coverage checks and inserts touch
-   contiguous memory, which matters because every routed hop probes the
-   leaf sets of nodes scattered across the heap. The first (up to)
-   seven bytes of each cached distance key are packed into an OCaml int
-   so the common case of a comparison resolves on immediate ints
-   without dereferencing the key string. In a sparse ring (< l live
-   nodes) the same peer may legally appear on both sides; [members]
-   deduplicates. *)
+   first. Sides are two flat parallel arrays — the entry ids
+   (denormalized for scan locality: every routed hop probes the leaf
+   sets of nodes scattered across the heap) and the bare int
+   addresses, resolved through the shared {!Directory} on the cold
+   paths that need the peer record. Distance keys are not stored:
+   an entry's key is a pure function of the own id and the entry id,
+   recomputed on demand; only the farthest (last) entry's full key per
+   side — the coverage bound read on every routed hop — is cached.
+   In a sparse ring (< l live nodes) the same peer may legally appear
+   on both sides; [members] deduplicates. *)
 type side = {
   mutable n : int;
-  hi : int array; (* first 7 bytes of dist, big-endian packed *)
-  dist : string array; (* full Id.cw_dist_key *)
-  peers : Peer.t array;
-  ids : Id.t array; (* peers.(i).id, denormalized for scan locality *)
-  addrs : int array; (* peers.(i).addr, likewise *)
+  ids : Id.t array;
+  addrs : int array;
+  (* Full [Id.cw_dist_key] of entry [n-1]; [""] when the side is
+     empty. Refreshed after every mutation. *)
+  mutable ext_key : string;
 }
 
 type t = {
   config : Config.t;
   own : Id.t;
+  dir : Directory.t;
   smaller : side; (* by counterclockwise distance *)
   larger : side; (* by clockwise distance *)
   (* [members] runs per maintenance tick per node and per replica
@@ -30,86 +32,84 @@ type t = {
   mutable members_cache : Peer.t list option;
 }
 
-let make_side ~cap ~own =
-  let dummy = Peer.make ~id:own ~addr:(-1) in
-  {
-    n = 0;
-    hi = Array.make cap 0;
-    dist = Array.make cap "";
-    peers = Array.make cap dummy;
-    ids = Array.make cap own;
-    addrs = Array.make cap (-1);
-  }
+let make_side ~cap ~own = { n = 0; ids = Array.make cap own; addrs = Array.make cap (-1); ext_key = "" }
 
-let create ~config ~own =
+let create ?dir ~config ~own () =
   Config.validate config;
+  let dir = match dir with Some d -> d | None -> Directory.create () in
   let cap = config.Config.leaf_set_size / 2 in
-  { config; own; smaller = make_side ~cap ~own; larger = make_side ~cap ~own; members_cache = None }
+  { config; own; dir; smaller = make_side ~cap ~own; larger = make_side ~cap ~own; members_cache = None }
 
 let half t = t.config.Config.leaf_set_size / 2
 
+(* Distance of [id] in the side's orientation: the larger side sorts
+   by clockwise distance from own ([cw] true), the smaller side by
+   counterclockwise, i.e. clockwise from the entry to own. *)
+let entry_hi ~own ~cw id = if cw then Id.cw_dist_hi7 own id else Id.cw_dist_hi7 id own
+let entry_key ~own ~cw id = if cw then Id.cw_dist_key own id else Id.cw_dist_key id own
+
+let set_ext side ~own ~cw =
+  side.ext_key <- (if side.n = 0 then "" else entry_key ~own ~cw side.ids.(side.n - 1))
+
 (* Insert into a distance-sorted side, capped at l/2. The candidate's
-   distance is [cw_dist_key from_id to_id], but the common no-change
-   scan only ever needs its packed 7-byte prefix, so the full key
-   string is materialized solely on an actual insert or a prefix tie —
-   a rejected offer allocates nothing. A duplicate address is always
-   met before the insertion point (same addr implies same id hence
-   equal distance, and the ordering breaks distance ties by id), so
-   the single forward scan decides. *)
-let side_add side ~cap ~(peer : Peer.t) ~from_id ~to_id =
-  let cand_hi = Id.cw_dist_hi7 from_id to_id in
+   packed 7-byte distance prefix decides almost every comparison; the
+   full key string is materialized only on a prefix tie. The insertion
+   point is found by binary search (the side is strictly ordered by
+   (distance, id)): the leftmost entry strictly farther than the
+   candidate — identical to what the historical linear scan chose. A
+   duplicate address implies an equal distance and id, so it always
+   sorts strictly before that point and the address scan over the
+   prefix decides. *)
+let side_add side ~cap ~(peer : Peer.t) ~own ~cw =
+  let cand_hi = entry_hi ~own ~cw peer.Peer.id in
   let before i =
-    let c = compare cand_hi side.hi.(i) in
+    let c = compare cand_hi (entry_hi ~own ~cw side.ids.(i)) in
     if c <> 0 then c < 0
     else begin
-      let c = String.compare (Id.cw_dist_key from_id to_id) side.dist.(i) in
+      let c = String.compare (entry_key ~own ~cw peer.Peer.id) (entry_key ~own ~cw side.ids.(i)) in
       c < 0 || (c = 0 && Id.compare peer.Peer.id side.ids.(i) < 0)
     end
   in
-  let rec find i =
-    if i = side.n then if side.n < cap then `At side.n else `No
-    else if side.addrs.(i) = peer.Peer.addr then `No
-    else if before i then `At i
-    else find (i + 1)
+  let rec search lo hi = (* leftmost i with [before i]; n if none *)
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if before mid then search lo mid else search (mid + 1) hi
   in
-  match find 0 with
-  | `No -> false
-  | `At pos ->
+  let pos = search 0 side.n in
+  let rec dup i = i < pos && (side.addrs.(i) = peer.Peer.addr || dup (i + 1)) in
+  if dup 0 then false
+  else if pos = side.n && side.n >= cap then false
+  else begin
     let last = Stdlib.min (side.n + 1) cap - 1 in
     for j = last downto pos + 1 do
-      side.hi.(j) <- side.hi.(j - 1);
-      side.dist.(j) <- side.dist.(j - 1);
-      side.peers.(j) <- side.peers.(j - 1);
       side.ids.(j) <- side.ids.(j - 1);
       side.addrs.(j) <- side.addrs.(j - 1)
     done;
-    side.hi.(pos) <- cand_hi;
-    side.dist.(pos) <- Id.cw_dist_key from_id to_id;
-    side.peers.(pos) <- peer;
     side.ids.(pos) <- peer.Peer.id;
     side.addrs.(pos) <- peer.Peer.addr;
     side.n <- last + 1;
+    set_ext side ~own ~cw;
     true
+  end
 
 let add t (peer : Peer.t) =
   if Id.equal peer.Peer.id t.own then false
   else begin
+    Directory.note t.dir peer;
     let cap = half t in
-    let changed_l = side_add t.larger ~cap ~peer ~from_id:t.own ~to_id:peer.Peer.id in
-    let changed_s = side_add t.smaller ~cap ~peer ~from_id:peer.Peer.id ~to_id:t.own in
+    let changed_l = side_add t.larger ~cap ~peer ~own:t.own ~cw:true in
+    let changed_s = side_add t.smaller ~cap ~peer ~own:t.own ~cw:false in
     let changed = changed_l || changed_s in
     if changed then t.members_cache <- None;
     changed
   end
 
-let side_remove side addr =
+let side_remove side ~own ~cw addr =
   let w = ref 0 in
   for i = 0 to side.n - 1 do
     if side.addrs.(i) <> addr then begin
       if !w < i then begin
-        side.hi.(!w) <- side.hi.(i);
-        side.dist.(!w) <- side.dist.(i);
-        side.peers.(!w) <- side.peers.(i);
         side.ids.(!w) <- side.ids.(i);
         side.addrs.(!w) <- side.addrs.(i)
       end;
@@ -118,11 +118,12 @@ let side_remove side addr =
   done;
   let changed = !w <> side.n in
   side.n <- !w;
+  if changed then set_ext side ~own ~cw;
   changed
 
 let remove_addr t addr =
-  let changed_s = side_remove t.smaller addr in
-  let changed_l = side_remove t.larger addr in
+  let changed_s = side_remove t.smaller ~own:t.own ~cw:false addr in
+  let changed_l = side_remove t.larger ~own:t.own ~cw:true addr in
   let changed = changed_s || changed_l in
   if changed then t.members_cache <- None;
   changed
@@ -143,7 +144,8 @@ let members t =
     let tbl = Hashtbl.create 64 in
     let collect side =
       for i = 0 to side.n - 1 do
-        if not (Hashtbl.mem tbl side.addrs.(i)) then Hashtbl.replace tbl side.addrs.(i) side.peers.(i)
+        if not (Hashtbl.mem tbl side.addrs.(i)) then
+          Hashtbl.replace tbl side.addrs.(i) (Directory.get t.dir side.addrs.(i))
       done
     in
     collect t.smaller;
@@ -152,15 +154,15 @@ let members t =
     t.members_cache <- Some m;
     m
 
-let side_list side = Array.to_list (Array.sub side.peers 0 side.n)
-let smaller t = side_list t.smaller
-let larger t = side_list t.larger
+let side_list t side = List.init side.n (fun i -> Directory.get t.dir side.addrs.(i))
+let smaller t = side_list t t.smaller
+let larger t = side_list t t.larger
 let size t = List.length (members t)
 let is_empty t = t.smaller.n = 0 && t.larger.n = 0
 
-let extreme side = if side.n = 0 then None else Some side.peers.(side.n - 1)
-let extreme_smaller t = extreme t.smaller
-let extreme_larger t = extreme t.larger
+let extreme t side = if side.n = 0 then None else Some (Directory.get t.dir side.addrs.(side.n - 1))
+let extreme_smaller t = extreme t t.smaller
+let extreme_larger t = extreme t t.larger
 
 let covers t key =
   (* A side with spare capacity means we know every node on that side,
@@ -172,9 +174,7 @@ let covers t key =
     (* Arc from lo clockwise to hi passes through own: the key is in
        range iff its clockwise offset from lo does not exceed the
        arc length, which is lo's ccw distance + hi's cw distance. *)
-    Id.dist_key_le_sum
-      (Id.cw_dist_key s.ids.(s.n - 1) key)
-      s.dist.(s.n - 1) l.dist.(l.n - 1)
+    Id.dist_key_le_sum (Id.cw_dist_key s.ids.(s.n - 1) key) s.ext_key l.ext_key
   end
 
 let closest_to t key =
@@ -183,24 +183,27 @@ let closest_to t key =
      smaller prefix implies a strictly smaller full key, and ties keep
      the incumbent, so the winner matches the plain closer-scan
      exactly. *)
-  let best = ref None in
+  let best_addr = ref (-1) in
+  let best_id = ref t.own in
   let best_hi = ref max_int in
   let scan side =
     for i = 0 to side.n - 1 do
       let h = Id.ring_dist_hi7 key side.ids.(i) in
       if h < !best_hi then begin
-        best := Some side.peers.(i);
+        best_addr := side.addrs.(i);
+        best_id := side.ids.(i);
         best_hi := h
       end
-      else if h = !best_hi then
-        match !best with
-        | Some q when Id.closer ~target:key side.ids.(i) q.Peer.id < 0 -> best := Some side.peers.(i)
-        | Some _ | None -> ()
+      else if h = !best_hi && !best_addr >= 0 && Id.closer ~target:key side.ids.(i) !best_id < 0
+      then begin
+        best_addr := side.addrs.(i);
+        best_id := side.ids.(i)
+      end
     done
   in
   scan t.smaller;
   scan t.larger;
-  !best
+  if !best_addr < 0 then None else Some (Directory.get t.dir !best_addr)
 
 let closest_including_self t key =
   match closest_to t key with
@@ -236,7 +239,7 @@ let pp fmt t =
   let pp_side name side =
     Format.fprintf fmt "  %s:" name;
     for i = 0 to side.n - 1 do
-      Format.fprintf fmt " %a" Peer.pp side.peers.(i)
+      Format.fprintf fmt " %a" Peer.pp (Directory.get t.dir side.addrs.(i))
     done;
     Format.fprintf fmt "@."
   in

@@ -11,7 +11,9 @@
 
 type t
 
-val create : config:Config.t -> own:Past_id.Id.t -> t
+val create : ?dir:Directory.t -> config:Config.t -> own:Past_id.Id.t -> unit -> t
+(** [dir] (default: a fresh private directory) resolves stored
+    addresses back to peers; overlay nodes share one. *)
 
 val add : t -> Peer.t -> bool
 (** Offer a peer; inserted on whichever side(s) it is among the l/2

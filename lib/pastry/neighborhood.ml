@@ -1,29 +1,25 @@
 module Id = Past_id.Id
 
 (* Kept sorted by proximity, closest first, in parallel flat arrays
-   (an unboxed float array for the proximities): the membership check
-   and insert-position scan run on every [Node.learn], i.e. twice per
-   routed hop, so they must not chase list links through cold memory. *)
+   (an unboxed float array for the proximities, bare int addresses
+   resolved through the shared {!Directory} on the cold paths): the
+   membership check and insert-position scan run on every
+   [Node.learn], i.e. twice per routed hop, so they must not chase
+   pointers through cold memory. *)
 type t = {
   config : Config.t;
   own : Id.t;
+  dir : Directory.t;
   mutable n : int;
   prox : float array;
-  peers : Peer.t array;
   addrs : int array;
 }
 
-let create ~config ~own =
+let create ?dir ~config ~own () =
   Config.validate config;
+  let dir = match dir with Some d -> d | None -> Directory.create () in
   let cap = Stdlib.max 1 config.Config.neighborhood_size in
-  {
-    config;
-    own;
-    n = 0;
-    prox = Array.make cap 0.0;
-    peers = Array.make cap (Peer.make ~id:own ~addr:(-1));
-    addrs = Array.make cap (-1);
-  }
+  { config; own; dir; n = 0; prox = Array.make cap 0.0; addrs = Array.make cap (-1) }
 
 let add t ~proximity (peer : Peer.t) =
   if Id.equal peer.Peer.id t.own then false
@@ -39,14 +35,13 @@ let add t ~proximity (peer : Peer.t) =
       let pos = pos 0 in
       if pos >= cap then false
       else begin
+        Directory.note t.dir peer;
         let last = Stdlib.min (t.n + 1) cap - 1 in
         for j = last downto pos + 1 do
           t.prox.(j) <- t.prox.(j - 1);
-          t.peers.(j) <- t.peers.(j - 1);
           t.addrs.(j) <- t.addrs.(j - 1)
         done;
         t.prox.(pos) <- proximity;
-        t.peers.(pos) <- peer;
         t.addrs.(pos) <- peer.Peer.addr;
         t.n <- last + 1;
         true
@@ -60,7 +55,6 @@ let remove_addr t addr =
     if t.addrs.(i) <> addr then begin
       if !w < i then begin
         t.prox.(!w) <- t.prox.(i);
-        t.peers.(!w) <- t.peers.(i);
         t.addrs.(!w) <- t.addrs.(i)
       end;
       incr w
@@ -70,5 +64,5 @@ let remove_addr t addr =
   t.n <- !w;
   changed
 
-let members t = Array.to_list (Array.sub t.peers 0 t.n)
+let members t = List.init t.n (fun i -> Directory.get t.dir t.addrs.(i))
 let size t = t.n

@@ -4,7 +4,9 @@
 
 type t
 
-val create : config:Config.t -> own:Past_id.Id.t -> t
+val create : ?dir:Directory.t -> config:Config.t -> own:Past_id.Id.t -> unit -> t
+(** [dir] (default: a fresh private directory) resolves stored
+    addresses back to peers; overlay nodes share one. *)
 
 val add : t -> proximity:float -> Peer.t -> bool
 (** Offer a peer with its measured proximity; kept if among the M

@@ -21,6 +21,41 @@ type 'a app = {
   on_leaf_change : unit -> unit;
 }
 
+(* Overlay-wide telemetry: all nodes of one overlay resolve the same
+   registry counters, so these aggregate across the whole system. One
+   [shared] bundle serves every node of an overlay — at mega-scale,
+   nine per-node pointers to the same nine objects are real memory. *)
+type shared = {
+  tracer : Trace.t;
+  monitors : Monitor.t;
+  c_hop_leaf : Counter.t;
+  c_hop_rt : Counter.t;
+  c_hop_rare : Counter.t;
+  c_delivered : Counter.t;
+  c_ctl : Counter.t;
+  c_repairs : Counter.t;
+  (* Lazy so failure-free runs keep their pre-fault-engine telemetry
+     schema (the EXP1 golden compares registry snapshots byte-for-byte);
+     the row appears once the first repair happens. *)
+  c_rt_repairs : Counter.t Lazy.t;
+}
+
+let shared_of_registry reg =
+  (* Eagerly created so a metrics snapshot shows every stage, zero or
+     not. *)
+  let stage_hop s = Registry.counter reg ~labels:[ ("stage", Trace.stage_name s) ] "pastry.route.hops" in
+  {
+    tracer = Registry.tracer reg;
+    monitors = Registry.monitors reg;
+    c_hop_leaf = stage_hop Trace.Leaf_set;
+    c_hop_rt = stage_hop Trace.Routing_table;
+    c_hop_rare = stage_hop Trace.Rare_case;
+    c_delivered = Registry.counter reg "pastry.route.delivered";
+    c_ctl = Registry.counter reg "pastry.control_sent";
+    c_repairs = Registry.counter reg "pastry.leaf_repairs";
+    c_rt_repairs = lazy (Registry.counter reg "pastry.rt_repairs");
+  }
+
 type 'a t = {
   net : 'a Message.t Net.t;
   config : Config.t;
@@ -38,7 +73,12 @@ type 'a t = {
      the crash see an old epoch and stop. *)
   mutable maint_epoch : int;
   mutable malicious : bool;
-  pending_acks : (Net.addr, float) Hashtbl.t; (* addr -> failure deadline *)
+  (* The three per-node Hashtbls are lazy: nodes that never run
+     maintenance, declare a failure, or take a rare-case hop (the
+     common case in a snapshot-built mega-scale overlay) never pay for
+     the buckets. The initial sizes are part of the determinism
+     surface — iteration order of a table depends on its bucket count. *)
+  pending_acks : (Net.addr, float) Hashtbl.t Lazy.t; (* addr -> failure deadline *)
   (* Failure memory: peers we declared failed, with the declaration
      time. [learn] refuses to re-admit them until the entry expires or
      the peer is heard from directly (any message with it as the
@@ -46,28 +86,15 @@ type 'a t = {
      keeps re-importing dead peers from neighbours' stale leaf sets
      faster than keep-alive probing can evict them, and the k-closest
      set stays polluted with dead nodes for many detection cycles. *)
-  suspects : (Net.addr, float) Hashtbl.t;
+  suspects : (Net.addr, float) Hashtbl.t Lazy.t;
   (* Dedup scratch reused by [known_peers] (per rare-case hop, per
      announce) instead of allocating a fresh Hashtbl each call. Reset —
      not clear — between uses: reset restores the initial bucket count,
      so iteration order matches a fresh table of the same size. *)
-  peers_scratch : (Net.addr, Peer.t) Hashtbl.t;
+  peers_scratch : (Net.addr, Peer.t) Hashtbl.t Lazy.t;
   mutable fwd_count : int;
   mutable ctl_count : int;
-  (* Overlay-wide telemetry: all nodes of one overlay resolve the same
-     registry counters, so these aggregate across the whole system. *)
-  tracer : Trace.t;
-  monitors : Monitor.t;
-  c_hop_leaf : Counter.t;
-  c_hop_rt : Counter.t;
-  c_hop_rare : Counter.t;
-  c_delivered : Counter.t;
-  c_ctl : Counter.t;
-  c_repairs : Counter.t;
-  (* Lazy so failure-free runs keep their pre-fault-engine telemetry
-     schema (the EXP1 golden compares registry snapshots byte-for-byte);
-     the row appears once the first repair happens. *)
-  c_rt_repairs : Counter.t Lazy.t;
+  shared : shared;
 }
 
 let self t = t.self
@@ -96,7 +123,7 @@ let tell t dst msg =
   | Message.Routed { payload = Message.App _; _ } | Message.Direct _ -> ()
   | _ ->
     t.ctl_count <- t.ctl_count + 1;
-    Counter.incr t.c_ctl);
+    Counter.incr t.shared.c_ctl);
   Net.send t.net ~src:t.self.Peer.addr ~dst msg
 
 let fire_leaf_change t = match t.app with Some a -> a.on_leaf_change () | None -> ()
@@ -108,15 +135,22 @@ let fire_leaf_change t = match t.app with Some a -> a.on_leaf_change () | None -
 let suspect_ttl t =
   2.0 *. (t.config.Config.keepalive_period +. t.config.Config.failure_timeout)
 
+(* Reads and removals on the lazy tables must not force them: an
+   unforced table is observationally an empty one. *)
+let tbl_remove lazy_tbl key = if Lazy.is_val lazy_tbl then Hashtbl.remove (Lazy.force lazy_tbl) key
+
 let suspected t addr =
-  match Hashtbl.find_opt t.suspects addr with
-  | None -> false
-  | Some since ->
-    if Net.now t.net -. since < suspect_ttl t then true
-    else begin
-      Hashtbl.remove t.suspects addr;
-      false
-    end
+  if not (Lazy.is_val t.suspects) then false
+  else
+    let suspects = Lazy.force t.suspects in
+    match Hashtbl.find_opt suspects addr with
+    | None -> false
+    | Some since ->
+      if Net.now t.net -. since < suspect_ttl t then true
+      else begin
+        Hashtbl.remove suspects addr;
+        false
+      end
 
 let learn t (peer : Peer.t) =
   if
@@ -132,7 +166,7 @@ let learn t (peer : Peer.t) =
   end
 
 let known_peers t =
-  let tbl = t.peers_scratch in
+  let tbl = Lazy.force t.peers_scratch in
   Hashtbl.reset tbl;
   let collect p = if not (Hashtbl.mem tbl p.Peer.addr) then Hashtbl.replace tbl p.Peer.addr p in
   List.iter collect (Leaf_set.members t.leaf);
@@ -145,8 +179,8 @@ let known_peers t =
 let declare_failed t failed_addr =
   Log.debug (fun m ->
       m "%s declares node@%d failed" (Id.short t.self.Peer.id) failed_addr);
-  Hashtbl.remove t.pending_acks failed_addr;
-  Hashtbl.replace t.suspects failed_addr (Net.now t.net);
+  tbl_remove t.pending_acks failed_addr;
+  Hashtbl.replace (Lazy.force t.suspects) failed_addr (Net.now t.net);
   let was_smaller = List.exists (fun p -> p.Peer.addr = failed_addr) (Leaf_set.smaller t.leaf) in
   let was_larger = List.exists (fun p -> p.Peer.addr = failed_addr) (Leaf_set.larger t.leaf) in
   let leaf_changed = Leaf_set.remove_addr t.leaf failed_addr in
@@ -154,13 +188,13 @@ let declare_failed t failed_addr =
     (* Routing-table repair accounting: the vacated cell is refilled
        lazily by [learn] from passing traffic (§2.2); each removal is
        one repair episode. *)
-    Counter.incr (Lazy.force t.c_rt_repairs);
+    Counter.incr (Lazy.force t.shared.c_rt_repairs);
   ignore (Neighborhood.remove_addr t.nbhd failed_addr);
   if leaf_changed then begin
     (* Repair: ask the live extreme node on the failed side for its
        leaf set; the overlap of adjacent leaf sets restores the
        invariant (§2.2 "Node addition and failure"). *)
-    Counter.incr t.c_repairs;
+    Counter.incr t.shared.c_repairs;
     let ask peer = tell t peer.Peer.addr (Message.Leaf_request { from = t.self }) in
     if was_smaller then Option.iter ask (Leaf_set.extreme_smaller t.leaf);
     if was_larger then Option.iter ask (Leaf_set.extreme_larger t.leaf);
@@ -299,11 +333,11 @@ let contribute_join_rows t (r : 'a Message.routed) =
   end
 
 let stage_counter t = function
-  | Trace.Leaf_set -> t.c_hop_leaf
-  | Trace.Routing_table -> t.c_hop_rt
-  | Trace.Rare_case | Trace.Local -> t.c_hop_rare
+  | Trace.Leaf_set -> t.shared.c_hop_leaf
+  | Trace.Routing_table -> t.shared.c_hop_rt
+  | Trace.Rare_case | Trace.Local -> t.shared.c_hop_rare
 
-let trace_event t kind = Trace.record t.tracer ~time:(Net.now t.net) ~node:t.self.Peer.addr kind
+let trace_event t kind = Trace.record t.shared.tracer ~time:(Net.now t.net) ~node:t.self.Peer.addr kind
 
 (* Online hop-bound invariant (paper §2.2: expected ⌈log_2^b N⌉ hops).
    The slack absorbs rare-case routing and stale tables during churn;
@@ -314,14 +348,14 @@ let trace_event t kind = Trace.record t.tracer ~time:(Net.now t.net) ~node:t.sel
 let hop_bound_slack = 6
 
 let check_hop_bound t (r : 'a Message.routed) =
-  if Monitor.active t.monitors then begin
+  if Monitor.active t.shared.monitors then begin
     let n = Stdlib.max 2 (Net.node_count t.net) in
     let digits = float_of_int (1 lsl t.config.Config.b) in
     let bound =
       int_of_float (Float.ceil (Float.log (float_of_int n) /. Float.log digits))
       + hop_bound_slack
     in
-    Monitor.record_check t.monitors ~name:"pastry.hop_bound" ~now:(Net.now t.net)
+    Monitor.record_check t.shared.monitors ~name:"pastry.hop_bound" ~now:(Net.now t.net)
       ~detail:
         (Printf.sprintf "route %d delivered after %d hops (bound %d, N=%d)" r.Message.trace
            r.Message.hops bound n)
@@ -334,7 +368,7 @@ let handle_routed t (r : 'a Message.routed) =
     let hop, stage = next_hop t r.Message.key in
     match hop with
     | Deliver ->
-      Counter.incr t.c_delivered;
+      Counter.incr t.shared.c_delivered;
       check_hop_bound t r;
       trace_event t
         (Trace.Route_deliver { route = r.Message.trace; hops = r.Message.hops; stage });
@@ -387,7 +421,7 @@ let handle t src msg =
   (* Hearing from a node directly is proof of life: drop any suspicion
      so [learn] can re-admit it (e.g. a crashed peer that rejoined and
      resumed keep-alives). *)
-  Hashtbl.remove t.suspects src;
+  tbl_remove t.suspects src;
   match msg with
   | Message.Routed r ->
     (* A joiner in flight must not enter anyone's tables yet: learning
@@ -425,7 +459,7 @@ let handle t src msg =
     learn t from;
     tell t from.Peer.addr (Message.Keepalive_ack { from = t.self })
   | Message.Keepalive_ack { from } ->
-    Hashtbl.remove t.pending_acks from.Peer.addr;
+    tbl_remove t.pending_acks from.Peer.addr;
     learn t from
   | Message.Leaf_request { from } ->
     learn t from;
@@ -440,44 +474,40 @@ let handle t src msg =
     learn t from;
     match t.app with Some a -> a.on_direct ~from payload | None -> ())
 
-let create ~net ~config ~rng ~id () =
+let create ?dir ?shared ~net ~config ~rng ~id () =
   Config.validate config;
   let node_ref = ref None in
   let handler src msg = match !node_ref with Some n -> handle n src msg | None -> () in
   let addr = Net.register net ~handler in
   let self = Peer.make ~id ~addr in
-  let reg = Net.registry net in
-  (* Eagerly created so a metrics snapshot shows every stage, zero or
-     not. *)
-  let stage_hop s = Registry.counter reg ~labels:[ ("stage", Trace.stage_name s) ] "pastry.route.hops" in
+  let dir = match dir with Some d -> d | None -> Directory.create () in
+  Directory.note dir self;
+  let shared =
+    match shared with Some s -> s | None -> shared_of_registry (Net.registry net)
+  in
   let t =
     {
       net;
       config;
       rng;
       self;
-      rt = Routing_table.create ~config ~own:id;
-      leaf = Leaf_set.create ~config ~own:id;
-      nbhd = Neighborhood.create ~config ~own:id;
+      rt =
+        Routing_table.create ~dir ~config ~own:id
+          ~proximity:(fun a -> Net.proximity net addr a)
+          ();
+      leaf = Leaf_set.create ~dir ~config ~own:id ();
+      nbhd = Neighborhood.create ~dir ~config ~own:id ();
       app = None;
       joined = true (* a lone node is a complete overlay of size one *);
       maintenance = false;
       maint_epoch = 0;
       malicious = false;
-      pending_acks = Hashtbl.create 16;
-      suspects = Hashtbl.create 16;
-      peers_scratch = Hashtbl.create 64;
+      pending_acks = lazy (Hashtbl.create 16);
+      suspects = lazy (Hashtbl.create 16);
+      peers_scratch = lazy (Hashtbl.create 64);
       fwd_count = 0;
       ctl_count = 0;
-      tracer = Registry.tracer reg;
-      monitors = Registry.monitors reg;
-      c_hop_leaf = stage_hop Trace.Leaf_set;
-      c_hop_rt = stage_hop Trace.Routing_table;
-      c_hop_rare = stage_hop Trace.Rare_case;
-      c_delivered = Registry.counter reg "pastry.route.delivered";
-      c_ctl = Registry.counter reg "pastry.control_sent";
-      c_repairs = Registry.counter reg "pastry.leaf_repairs";
-      c_rt_repairs = lazy (Registry.counter reg "pastry.rt_repairs");
+      shared;
     }
   in
   node_ref := Some t;
@@ -493,7 +523,7 @@ let join t ~bootstrap =
   if bootstrap = t.self.Peer.addr then invalid_arg "Node.join: cannot bootstrap from self";
   Log.info (fun m -> m "%s joining via node@%d" (Id.short t.self.Peer.id) bootstrap);
   t.joined <- false;
-  let trace = Trace.new_route_id t.tracer in
+  let trace = Trace.new_route_id t.shared.tracer in
   trace_event t
     (Trace.Route_start { route = trace; parent = Trace.no_parent; key = Id.short t.self.Peer.id });
   tell t bootstrap
@@ -510,7 +540,7 @@ let join t ~bootstrap =
        })
 
 let route ?(parent = Trace.no_parent) t ~key payload =
-  let trace = Trace.new_route_id t.tracer in
+  let trace = Trace.new_route_id t.shared.tracer in
   trace_event t (Trace.Route_start { route = trace; parent; key = Id.short key });
   let r =
     {
@@ -538,21 +568,24 @@ let deliver_local t ~key payload =
   | None -> ()
 
 let check_failures t =
-  let now = Net.now t.net in
-  let expired =
-    Hashtbl.fold (fun a deadline acc -> if deadline < now then a :: acc else acc) t.pending_acks []
-  in
-  List.iter (declare_failed t) expired
+  if Lazy.is_val t.pending_acks then begin
+    let acks = Lazy.force t.pending_acks in
+    let now = Net.now t.net in
+    let expired =
+      Hashtbl.fold (fun a deadline acc -> if deadline < now then a :: acc else acc) acks []
+    in
+    List.iter (declare_failed t) expired
+  end
 
 let maintenance_tick t =
   (* No liveness guard needed: the timer thunk is owner-gated, so a
      down node's tick is never dispatched in the first place. *)
   check_failures t;
+  let acks = Lazy.force t.pending_acks in
   List.iter
     (fun (m : Peer.t) ->
-      if not (Hashtbl.mem t.pending_acks m.Peer.addr) then
-        Hashtbl.replace t.pending_acks m.Peer.addr
-          (Net.now t.net +. t.config.Config.failure_timeout);
+      if not (Hashtbl.mem acks m.Peer.addr) then
+        Hashtbl.replace acks m.Peer.addr (Net.now t.net +. t.config.Config.failure_timeout);
       tell t m.Peer.addr (Message.Keepalive { from = t.self }))
     (Leaf_set.members t.leaf)
 
@@ -577,11 +610,11 @@ let stop_maintenance t = t.maintenance <- false
 let recover t =
   (* A recovering node contacts its last known leaf set, refreshes its
      own leaf set from theirs, and announces its presence (§2.2). *)
-  Hashtbl.reset t.pending_acks;
+  (if Lazy.is_val t.pending_acks then Hashtbl.reset (Lazy.force t.pending_acks));
   (* Suspicions recorded before the crash are stale — the suspects may
      well have rejoined during our downtime. Keep-alives re-evict any
      that are still dead. *)
-  Hashtbl.reset t.suspects;
+  (if Lazy.is_val t.suspects then Hashtbl.reset (Lazy.force t.suspects));
   List.iter
     (fun (m : Peer.t) -> tell t m.Peer.addr (Message.Leaf_request { from = t.self }))
     (Leaf_set.members t.leaf);

@@ -21,7 +21,16 @@ type 'a app = {
   on_leaf_change : unit -> unit;
 }
 
+type shared
+(** Overlay-wide telemetry handles (tracer, monitors, counters),
+    shared by every node of one overlay instead of carried as nine
+    per-node fields. *)
+
+val shared_of_registry : Past_telemetry.Registry.t -> shared
+
 val create :
+  ?dir:Directory.t ->
+  ?shared:shared ->
   net:'a Message.t Past_simnet.Net.t ->
   config:Config.t ->
   rng:Past_stdext.Rng.t ->
@@ -30,7 +39,10 @@ val create :
   'a t
 (** Registers the node on the network (it gets an address and a
     location) but does not join any overlay yet: a fresh node is an
-    overlay of size one. *)
+    overlay of size one. [dir] (default: fresh) is the address →
+    peer directory the node's tables resolve through; [shared]
+    (default: built from the net's registry) the overlay-wide
+    telemetry bundle. *)
 
 val set_app : 'a t -> 'a app -> unit
 

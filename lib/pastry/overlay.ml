@@ -10,7 +10,14 @@ type 'a t = {
   mutable nodes_rev : 'a Node.t list; (* newest first *)
   mutable count : int;
   mutable nodes_cache : 'a Node.t array option;
-  by_addr : (Net.addr, 'a Node.t) Hashtbl.t;
+  (* Dense address → node table (addresses are the simulator's small
+     ints) and the overlay-wide peer directory / telemetry bundle
+     shared by every node's compact state. [shared] is created at the
+     first node so registry rows appear exactly when they always
+     did. *)
+  mutable by_addr : 'a Node.t option array;
+  dir : Directory.t;
+  mutable shared : Node.shared option;
   mutable sorted : 'a Node.t array; (* by id; rebuilt lazily *)
   mutable sorted_valid : bool;
   (* Live-node array in insertion order, revalidated against the
@@ -37,17 +44,36 @@ let nodes t =
 
 let node_count t = t.count
 
+let by_addr_find t addr =
+  if addr >= 0 && addr < Array.length t.by_addr then t.by_addr.(addr) else None
+
 let node_by_addr t addr =
-  match Hashtbl.find_opt t.by_addr addr with
+  match by_addr_find t addr with
   | Some n -> n
   | None -> invalid_arg (Printf.sprintf "Overlay.node_by_addr: unknown address %d" addr)
 
 let add_node_with_id t ~id =
-  let node = Node.create ~net:t.net ~config:t.config ~rng:(Rng.split t.rng) ~id () in
+  let shared =
+    match t.shared with
+    | Some s -> s
+    | None ->
+      let s = Node.shared_of_registry (Net.registry t.net) in
+      t.shared <- Some s;
+      s
+  in
+  let node =
+    Node.create ~dir:t.dir ~shared ~net:t.net ~config:t.config ~rng:(Rng.split t.rng) ~id ()
+  in
   t.nodes_rev <- node :: t.nodes_rev;
   t.count <- t.count + 1;
   t.nodes_cache <- None;
-  Hashtbl.replace t.by_addr (Node.addr node) node;
+  let addr = Node.addr node in
+  (if addr >= Array.length t.by_addr then begin
+     let fresh = Array.make (Stdlib.max (addr + 1) (Stdlib.max 1024 (2 * Array.length t.by_addr))) None in
+     Array.blit t.by_addr 0 fresh 0 (Array.length t.by_addr);
+     t.by_addr <- fresh
+   end);
+  t.by_addr.(addr) <- Some node;
   t.sorted_valid <- false;
   node
 
@@ -130,7 +156,7 @@ let install_monitors t =
              episode. *)
           let asymmetric holder_addr member_addr =
             match
-              (Hashtbl.find_opt t.by_addr holder_addr, Hashtbl.find_opt t.by_addr member_addr)
+              (by_addr_find t holder_addr, by_addr_find t member_addr)
             with
             | Some holder, Some member
               when Net.alive t.net holder_addr
@@ -203,7 +229,9 @@ let create ?(config = Config.default) ?topology ?(loss_rate = 0.0) ?trace_capaci
       nodes_rev = [];
       count = 0;
       nodes_cache = None;
-      by_addr = Hashtbl.create 1024;
+      by_addr = [||];
+      dir = Directory.create ();
+      shared = None;
       sorted = [||];
       sorted_valid = true;
       live = [||];
@@ -357,10 +385,7 @@ let populate_static ?(locality = true) ?(rt_samples = 8) t =
                 end
               in
               if locality then
-                ignore
-                  (Routing_table.consider (Node.routing_table node)
-                     ~proximity:(fun a -> Net.proximity t.net (Node.addr node) a)
-                     (Node.self chosen))
+                ignore (Routing_table.consider (Node.routing_table node) (Node.self chosen))
               else
                 ignore (Routing_table.consider_no_proximity (Node.routing_table node) (Node.self chosen))
             end
@@ -391,32 +416,83 @@ let build_static ?locality ?rt_samples t ~n =
   done;
   populate_static ?locality ?rt_samples t
 
-(* Join [node] through a bootstrap drawn from [existing] — nodes that
-   are already part of the overlay. The joiner contacts a nearby node
-   (§2.2): proximally closest of a random sample. *)
-let join_via ?(bootstrap_sample = 16) t node existing =
-    (match existing with
-    | [] -> () (* first node: an overlay of one *)
-    | _ ->
-      let candidates = Array.of_list existing in
-      let best = ref candidates.(Rng.int t.rng (Array.length candidates)) in
-      let best_d = ref (Net.proximity t.net (Node.addr node) (Node.addr !best)) in
-      for _ = 2 to Stdlib.min bootstrap_sample (Array.length candidates) do
-        let c = candidates.(Rng.int t.rng (Array.length candidates)) in
-        let d = Net.proximity t.net (Node.addr node) (Node.addr c) in
-        if d < !best_d then begin
-          best := c;
-          best_d := d
-        end
-      done;
-      Node.join node ~bootstrap:(Node.addr !best));
-    Net.run t.net
+(* The joiner contacts a nearby node (§2.2): proximally closest of a
+   random sample of the [ncand] candidates. [None] iff there are no
+   candidates (first node: an overlay of one). *)
+let pick_bootstrap ?(bootstrap_sample = 16) t node candidates ncand =
+  if ncand = 0 then None
+  else begin
+    let best = ref candidates.(Rng.int t.rng ncand) in
+    let best_d = ref (Net.proximity t.net (Node.addr node) (Node.addr !best)) in
+    for _ = 2 to Stdlib.min bootstrap_sample ncand do
+      let c = candidates.(Rng.int t.rng ncand) in
+      let d = Net.proximity t.net (Node.addr node) (Node.addr c) in
+      if d < !best_d then begin
+        best := c;
+        best_d := d
+      end
+    done;
+    Some !best
+  end
 
-let build_dynamic ?bootstrap_sample t ~n =
-  for _ = 1 to n do
+(* Join [node] through a bootstrap drawn from [existing] — nodes that
+   are already part of the overlay. [run] (default true) drains the
+   network to quiescence afterwards; batched builders defer that to
+   amortize the drain over several joins. *)
+let join_via ?bootstrap_sample ?(run = true) t node existing =
+    let candidates = Array.of_list existing in
+    (match pick_bootstrap ?bootstrap_sample t node candidates (Array.length candidates) with
+    | None -> ()
+    | Some best -> Node.join node ~bootstrap:(Node.addr best));
+    if run then Net.run t.net
+
+let build_dynamic ?bootstrap_sample ?(quiesce_every = 1) t ~n =
+  let q = Stdlib.max 1 quiesce_every in
+  for i = 1 to n do
     let node = add_node t in
     let existing = List.filter (fun m -> Node.addr m <> Node.addr node) t.nodes_rev in
-    join_via ?bootstrap_sample t node existing
+    join_via ?bootstrap_sample ~run:(i mod q = 0 || i = n) t node existing
+  done
+
+(* Snapshot bootstrap — the mega-scale builder (DESIGN.md §8). All but
+   a small dynamic tail of the nodes get their state directly from the
+   static snapshot: exact leaf sets from ring order and routing cells
+   filled with proximity-sampled prefix matches — the fixed point the
+   §2.2 join protocol converges to. The tail then joins through the
+   real message-driven protocol against the snapshot base, so the join
+   path stays exercised at every scale and the snapshot's claim to be
+   that fixed point is re-validated on every build. *)
+let build_snapshot ?locality ?rt_samples ?(dynamic_tail = 0.01) ?bootstrap_sample
+    ?(quiesce_every = 1) t ~n =
+  if n <= 0 then invalid_arg "Overlay.build_snapshot: n must be positive";
+  if dynamic_tail < 0.0 || dynamic_tail > 1.0 then
+    invalid_arg "Overlay.build_snapshot: dynamic_tail must be in [0, 1]";
+  let tail =
+    Stdlib.min n (Stdlib.max 1 (int_of_float (dynamic_tail *. float_of_int n)))
+  in
+  for _ = 1 to n - tail do
+    ignore (add_node t)
+  done;
+  populate_static ?locality ?rt_samples t;
+  (* Tail joins bootstrap from a candidate array grown incrementally:
+     the per-join exclude-self list filter [build_dynamic] affords at
+     experiment scale would cost O(tail·N) here. *)
+  let q = Stdlib.max 1 quiesce_every in
+  let cand = ref (Array.of_list (List.rev t.nodes_rev)) in
+  let ncand = ref (Array.length !cand) in
+  for i = 1 to tail do
+    let node = add_node t in
+    (match pick_bootstrap ?bootstrap_sample t node !cand !ncand with
+    | None -> ()
+    | Some best -> Node.join node ~bootstrap:(Node.addr best));
+    if i mod q = 0 || i = tail then Net.run t.net;
+    if !ncand = Array.length !cand then begin
+      let fresh = Array.make (Stdlib.max 16 (2 * !ncand)) node in
+      Array.blit !cand 0 fresh 0 !ncand;
+      cand := fresh
+    end;
+    !cand.(!ncand) <- node;
+    incr ncand
   done
 
 let join_all_dynamic ?bootstrap_sample t =

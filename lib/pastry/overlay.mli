@@ -59,11 +59,35 @@ val join_all_dynamic : ?bootstrap_sample:int -> 'a t -> unit
 (** Join every already-added node sequentially through the §2.2
     protocol (see {!build_dynamic}). *)
 
-val build_dynamic : ?bootstrap_sample:int -> 'a t -> n:int -> unit
+val build_dynamic : ?bootstrap_sample:int -> ?quiesce_every:int -> 'a t -> n:int -> unit
 (** Grow the overlay by [n] sequential joins, each bootstrapped from
     the proximally closest of [bootstrap_sample] (default 16) existing
-    nodes (the paper assumes the joiner contacts a nearby node). Runs
-    the network to quiescence between joins. *)
+    nodes (the paper assumes the joiner contacts a nearby node).
+    [quiesce_every] (default 1) drains the network to quiescence every
+    that many joins (and always after the last): 1 gives the fully
+    sequential historical behaviour; larger batches amortize the drain
+    when the overlay is a throwaway fixture, at the price of joiners
+    mid-batch bootstrapping through nodes whose own joins are still in
+    flight. Deterministic for any value. *)
+
+val build_snapshot :
+  ?locality:bool ->
+  ?rt_samples:int ->
+  ?dynamic_tail:float ->
+  ?bootstrap_sample:int ->
+  ?quiesce_every:int ->
+  'a t ->
+  n:int ->
+  unit
+(** Mega-scale builder (100k–1M nodes): all but a [dynamic_tail]
+    fraction (default 0.01, at least one node) of the [n] nodes are
+    built by snapshot — state written directly from the sorted id
+    space and topology coordinates, the fixed point the §2.2 join
+    protocol converges to (DESIGN.md §8) — and the tail then joins
+    through the real message-driven protocol, so join code stays
+    exercised at every scale. [locality]/[rt_samples] as in
+    {!build_static}; [bootstrap_sample]/[quiesce_every] govern the
+    tail as in {!build_dynamic}. *)
 
 val install_apps : 'a t -> ('a Node.t -> 'a Node.app) -> unit
 (** Attach an application to every current node. *)

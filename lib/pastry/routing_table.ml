@@ -1,22 +1,49 @@
 module Id = Past_id.Id
 
-type cell = { peer : Peer.t; proximity : float }
+(* Compact layout: one flat int array of packed cells, rows allocated
+   on demand. A populated overlay of N nodes only ever fills about
+   ⌈log_2^b N⌉ rows of the ⌈128/b⌉ the old cell matrix allocated
+   eagerly, and each filled cell used to cost a [Some] block, an entry
+   record and a boxed float — ~7 words against the packed cell's one.
+
+   A cell holds the entry's address (addresses are non-negative and
+   well below 2^30) plus one flag bit; [-1] is an empty cell. The
+   proximity of an incumbent is not stored: every caller measures
+   proximity with the table's own pure metric (the simulator's
+   topology distance, fixed at registration), so the stored value
+   would always equal [t.proximity addr] recomputed on demand. The
+   exception is {!consider_no_proximity}, which historically installed
+   entries with proximity [0.0] (unbeatable, so first-seen wins); the
+   flag bit reproduces exactly that. *)
 
 type t = {
   config : Config.t;
   own : Id.t;
-  cells : cell option array array; (* rows × cols *)
+  proximity : int -> float; (* pure: same address, same answer, forever *)
+  dir : Directory.t;
+  mutable cells : int array; (* rows_alloc × cols, packed; -1 = empty *)
+  mutable rows_alloc : int;
   mutable count : int;
 }
 
-let create ~config ~own =
+let no_prox_bit = 0x40000000
+let addr_mask = no_prox_bit - 1
+
+let create ?dir ~config ~own ~proximity () =
   Config.validate config;
-  {
-    config;
-    own;
-    cells = Array.make_matrix (Config.rows config) (Config.cols config) None;
-    count = 0;
-  }
+  let dir = match dir with Some d -> d | None -> Directory.create () in
+  { config; own; proximity; dir; cells = [||]; rows_alloc = 0; count = 0 }
+
+let cell_prox t packed = if packed land no_prox_bit <> 0 then 0.0 else t.proximity (packed land addr_mask)
+
+let ensure_row t row =
+  if row >= t.rows_alloc then begin
+    let cols = Config.cols t.config in
+    let fresh = Array.make ((row + 1) * cols) (-1) in
+    Array.blit t.cells 0 fresh 0 (t.rows_alloc * cols);
+    t.cells <- fresh;
+    t.rows_alloc <- row + 1
+  end
 
 let position t id =
   let b = t.config.Config.b in
@@ -27,102 +54,104 @@ let position t id =
 let lookup t ~row ~col =
   if row < 0 || row >= Config.rows t.config || col < 0 || col >= Config.cols t.config then
     invalid_arg "Routing_table.lookup: out of range";
-  Option.map (fun c -> c.peer) t.cells.(row).(col)
+  if row >= t.rows_alloc then None
+  else
+    let packed = t.cells.((row * Config.cols t.config) + col) in
+    if packed < 0 then None else Some (Directory.get t.dir (packed land addr_mask))
 
-let install t row col cell =
-  if t.cells.(row).(col) = None then t.count <- t.count + 1;
-  t.cells.(row).(col) <- Some cell
+let install t row col packed peer =
+  ensure_row t row;
+  let idx = (row * Config.cols t.config) + col in
+  if t.cells.(idx) < 0 then t.count <- t.count + 1;
+  t.cells.(idx) <- packed;
+  Directory.note t.dir peer
 
-(* Learn-path variant: the proximity is already known, and the row/col
-   are computed without the Option/tuple that [position] allocates —
-   this runs twice per routed hop, almost always hitting the
-   same-incumbent case. *)
+(* Learn-path variant: the proximity is already known (and equals what
+   [t.proximity] would return), and the row/col are computed without
+   the Option/tuple that [position] allocates — this runs twice per
+   routed hop, almost always hitting the same-incumbent case. *)
 let consider_prox t ~prox (peer : Peer.t) =
   let b = t.config.Config.b in
   let row = Id.shared_prefix_digits ~b t.own peer.Peer.id in
   if row >= Config.rows t.config then false (* id = own *)
   else begin
     let col = Id.digit ~b peer.Peer.id row in
-    match t.cells.(row).(col) with
-    | None ->
-      install t row col { peer; proximity = prox };
+    let packed = if row >= t.rows_alloc then -1 else t.cells.((row * Config.cols t.config) + col) in
+    if packed < 0 then begin
+      install t row col peer.Peer.addr peer;
       true
-    | Some incumbent when Peer.equal incumbent.peer peer -> false
-    | Some incumbent ->
-      if prox < incumbent.proximity then begin
-        install t row col { peer; proximity = prox };
-        true
-      end
-      else false
+    end
+    else if packed land addr_mask = peer.Peer.addr then false
+    else if prox < cell_prox t packed then begin
+      install t row col peer.Peer.addr peer;
+      true
+    end
+    else false
   end
 
-let consider t ~proximity (peer : Peer.t) =
-  match position t peer.Peer.id with
-  | None -> false
-  | Some (row, col) -> (
-    match t.cells.(row).(col) with
-    | None ->
-      install t row col { peer; proximity = proximity peer.Peer.addr };
-      true
-    | Some incumbent when Peer.equal incumbent.peer peer -> false
-    | Some incumbent ->
-      let p = proximity peer.Peer.addr in
-      if p < incumbent.proximity then begin
-        install t row col { peer; proximity = p };
-        true
-      end
-      else false)
+let consider t (peer : Peer.t) = consider_prox t ~prox:(t.proximity peer.Peer.addr) peer
 
 let consider_no_proximity t (peer : Peer.t) =
   match position t peer.Peer.id with
   | None -> false
-  | Some (row, col) -> (
-    match t.cells.(row).(col) with
-    | None ->
-      install t row col { peer; proximity = 0.0 };
+  | Some (row, col) ->
+    let packed = if row >= t.rows_alloc then -1 else t.cells.((row * Config.cols t.config) + col) in
+    if packed < 0 then begin
+      install t row col (peer.Peer.addr lor no_prox_bit) peer;
       true
-    | Some _ -> false)
+    end
+    else false
 
 let remove_addr t addr =
   let changed = ref false in
-  Array.iter
-    (fun row ->
-      Array.iteri
-        (fun j cell ->
-          match cell with
-          | Some { peer; _ } when peer.Peer.addr = addr ->
-            row.(j) <- None;
-            t.count <- t.count - 1;
-            changed := true
-          | Some _ | None -> ())
-        row)
-    t.cells;
+  for idx = 0 to (t.rows_alloc * Config.cols t.config) - 1 do
+    let packed = t.cells.(idx) in
+    if packed >= 0 && packed land addr_mask = addr then begin
+      t.cells.(idx) <- -1;
+      t.count <- t.count - 1;
+      changed := true
+    end
+  done;
   !changed
+
+let row_fold t i f acc =
+  let cols = Config.cols t.config in
+  let acc = ref acc in
+  for col = 0 to cols - 1 do
+    let packed = t.cells.((i * cols) + col) in
+    if packed >= 0 then acc := f !acc (Directory.get t.dir (packed land addr_mask))
+  done;
+  !acc
 
 let row_peers t i =
   if i < 0 || i >= Config.rows t.config then invalid_arg "Routing_table.row_peers: out of range";
-  Array.to_list t.cells.(i)
-  |> List.filter_map (Option.map (fun c -> c.peer))
+  if i >= t.rows_alloc then [] else List.rev (row_fold t i (fun acc p -> p :: acc) [])
 
 let peers t =
-  Array.to_list t.cells
-  |> List.concat_map (fun row -> Array.to_list row |> List.filter_map (Option.map (fun c -> c.peer)))
+  let acc = ref [] in
+  for idx = (t.rows_alloc * Config.cols t.config) - 1 downto 0 do
+    let packed = t.cells.(idx) in
+    if packed >= 0 then acc := Directory.get t.dir (packed land addr_mask) :: !acc
+  done;
+  !acc
 
 let entry_count t = t.count
 
 let next_hop t ~key =
-  match position t key with
-  | None -> None
-  | Some (row, col) -> lookup t ~row ~col
+  let b = t.config.Config.b in
+  let row = Id.shared_prefix_digits ~b t.own key in
+  if row >= Config.rows t.config || row >= t.rows_alloc then None
+  else
+    let packed = t.cells.((row * Config.cols t.config) + Id.digit ~b key row) in
+    if packed < 0 then None else Some (Directory.get t.dir (packed land addr_mask))
 
 let pp fmt t =
   Format.fprintf fmt "routing table for %s (%d entries)@." (Id.short t.own) t.count;
-  Array.iteri
-    (fun i row ->
-      let filled = Array.to_list row |> List.filter_map (Option.map (fun c -> c.peer)) in
-      if filled <> [] then begin
-        Format.fprintf fmt "  row %2d:" i;
-        List.iter (fun p -> Format.fprintf fmt " %a" Peer.pp p) filled;
-        Format.fprintf fmt "@."
-      end)
-    t.cells
+  for i = 0 to t.rows_alloc - 1 do
+    let filled = List.rev (row_fold t i (fun acc p -> p :: acc) []) in
+    if filled <> [] then begin
+      Format.fprintf fmt "  row %2d:" i;
+      List.iter (fun p -> Format.fprintf fmt " %a" Peer.pp p) filled;
+      Format.fprintf fmt "@."
+    end
+  done

@@ -4,23 +4,38 @@
     at level [n] refer to nodes whose nodeId shares the first [n] digits
     with the present node but differs in digit [n]. Among candidate
     nodes for a cell, the one closest by the proximity metric is kept —
-    this is the source of Pastry's locality properties. *)
+    this is the source of Pastry's locality properties.
+
+    The table stores packed [int] addresses (rows allocated on demand)
+    and resolves peers through the shared {!Directory}; incumbents'
+    proximities are recomputed with the [proximity] metric supplied at
+    creation, which must be pure — the same address must always map to
+    the same distance (true of the simulator's topology metric). *)
 
 type t
 
-val create : config:Config.t -> own:Past_id.Id.t -> t
+val create :
+  ?dir:Directory.t ->
+  config:Config.t ->
+  own:Past_id.Id.t ->
+  proximity:(Past_simnet.Net.addr -> float) ->
+  unit ->
+  t
+(** [dir] defaults to a fresh private directory (standalone tests);
+    overlay nodes share one. *)
 
 val lookup : t -> row:int -> col:int -> Peer.t option
 
-val consider : t -> proximity:(Past_simnet.Net.addr -> float) -> Peer.t -> bool
+val consider : t -> Peer.t -> bool
 (** Offer a peer. It is installed if its cell is empty or if it is
-    strictly closer (by [proximity]) than the incumbent. Returns [true]
-    if the table changed. Own id and malformed candidates are
+    strictly closer (by the table's proximity metric) than the
+    incumbent. Returns [true] if the table changed. Own id is
     ignored. *)
 
 val consider_prox : t -> prox:float -> Peer.t -> bool
 (** {!consider} with the candidate's proximity already computed — the
-    allocation-free variant used on the per-hop learn path. *)
+    variant used on the per-hop learn path. [prox] must equal what the
+    table's metric returns for the candidate's address. *)
 
 val consider_no_proximity : t -> Peer.t -> bool
 (** Like {!consider} but keeps the first-seen entry (no locality
@@ -36,7 +51,7 @@ val row_peers : t -> int -> Peer.t list
     join route contributes its row i). *)
 
 val peers : t -> Peer.t list
-(** All entries. *)
+(** All entries, row-major. *)
 
 val entry_count : t -> int
 

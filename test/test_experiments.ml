@@ -264,6 +264,106 @@ let golden_churn_parallel () =
       end)
     [ 1; 4 ]
 
+let golden_scale () =
+  (* Pinned snapshot-builder behavior: the per-route dump over a
+     snapshot-built overlay must be byte-identical to the committed
+     golden. Guards the builder's RNG draw order, the packed table
+     layout, and routing policy together. *)
+  let expected = read_golden "exp15_scale.golden" in
+  let actual = Past_experiments.Exp_scale.route_dump () in
+  if not (String.equal actual expected) then begin
+    let n = Stdlib.min (String.length actual) (String.length expected) in
+    let rec first_diff i = if i < n && actual.[i] = expected.[i] then first_diff (i + 1) else i in
+    Alcotest.failf
+      "EXP15 route dump drifted from test/exp15_scale.golden (first difference at byte %d; \
+       %d vs %d bytes). If intentional, regenerate with `dune exec test/gen/gen_golden.exe \
+       -- scale`."
+      (first_diff 0) (String.length actual) (String.length expected)
+  end
+
+(* Snapshot-vs-protocol equivalence harness. Both overlays get the
+   same node ids; one is populated by the snapshot, the other joins
+   every node through the real §2.2 protocol. The same lookups (same
+   keys, same by-index sources) are then routed on each. *)
+module Equiv = struct
+  module Overlay = Past_pastry.Overlay
+  module Node = Past_pastry.Node
+  module Id = Past_id.Id
+  module Rng = Past_stdext.Rng
+  module Harness = Past_experiments.Harness
+
+  let build ~ids ~seed kind =
+    let overlay : Harness.probe Overlay.t = Overlay.create ~trace_capacity:0 ~seed () in
+    List.iter (fun id -> ignore (Overlay.add_node_with_id overlay ~id)) ids;
+    (match kind with
+    | `Snapshot -> Overlay.populate_static overlay
+    | `Dynamic -> Overlay.join_all_dynamic overlay);
+    overlay
+
+  (* Route [lookups] keys drawn from a fresh rng at [lookup_seed]; the
+     source of each is picked by insertion index, so both overlays
+     fire the identical workload. Returns (key, dest id, hops) in
+     firing order. *)
+  let routes ~lookup_seed ~lookups overlay =
+    let results = ref [] in
+    Overlay.install_apps overlay (fun node ->
+        {
+          Harness.null_app with
+          Node.deliver =
+            (fun ~key _ info -> results := (key, Node.id node, info.Node.hops) :: !results);
+        });
+    let nodes = Overlay.nodes overlay in
+    let rng = Rng.create lookup_seed in
+    for _ = 1 to lookups do
+      let key = Id.random rng ~width:Id.node_bits in
+      let src = nodes.(Rng.int rng (Array.length nodes)) in
+      Node.route src ~key ();
+      Overlay.run overlay
+    done;
+    List.rev !results
+end
+
+(* With N ≤ l/2 every leaf set covers the whole ring, so a route is
+   decided purely by the leaf set: both builders must agree on the
+   destination AND the hop count. *)
+let qcheck_snapshot_equals_dynamic =
+  let open Equiv in
+  QCheck.Test.make ~name:"snapshot = dynamic builder: dest and hops (N <= l/2)" ~count:20
+    QCheck.(pair small_int (int_bound 1000))
+    (fun (s, v) ->
+      let n = 2 + (v mod 15) in
+      let ids_rng = Rng.create ((s * 13) + 1) in
+      let ids = List.init n (fun _ -> Id.random ids_rng ~width:Id.node_bits) in
+      let lookups = 20 in
+      let route kind =
+        routes ~lookup_seed:(s + 17) ~lookups (build ~ids ~seed:((s * 7) + 3) kind)
+      in
+      let ra = route `Snapshot and rb = route `Dynamic in
+      List.length ra = lookups && List.length rb = lookups
+      && List.for_all2
+           (fun (k1, d1, h1) (k2, d2, h2) -> Id.equal k1 k2 && Id.equal d1 d2 && h1 = h2)
+           ra rb)
+
+(* Beyond leaf-set range the hop sequences may differ (routing tables
+   are proximity-sampled in one builder and protocol-fed in the
+   other), but every lookup must still land on the numerically closest
+   node in both — the §2.2 correctness fixed point. *)
+let snapshot_dynamic_same_destinations () =
+  let open Equiv in
+  let ids_rng = Rng.create 91 in
+  let ids = List.init 120 (fun _ -> Id.random ids_rng ~width:Id.node_bits) in
+  List.iter
+    (fun kind ->
+      let overlay = build ~ids ~seed:57 kind in
+      let rs = routes ~lookup_seed:23 ~lookups:60 overlay in
+      check Alcotest.int "all delivered" 60 (List.length rs);
+      List.iter
+        (fun (key, dest, _) ->
+          check Alcotest.bool "delivered at numerically closest" true
+            (Id.equal dest (Node.id (Overlay.closest_live_node overlay key))))
+        rs)
+    [ `Snapshot; `Dynamic ]
+
 let malicious_success_monotone () =
   (* EXP8 at smoke scale: success degrades as the malicious fraction
      grows, each row's randomized-retry column is cumulative (hence
@@ -340,5 +440,8 @@ let suite =
       "EXP5/12 row-parallel --jobs byte-identical" => replica_balance_jobs_byte_identical;
       "EXP13 quota economy" => quota_economy_conserves;
       "EXP14 churn golden at jobs 1 and 4" => golden_churn_parallel;
+      "EXP15 scale route golden" => golden_scale;
+      QCheck_alcotest.to_alcotest qcheck_snapshot_equals_dynamic;
+      "EXP15 snapshot/dynamic same destinations" => snapshot_dynamic_same_destinations;
       "SOAK smoke on the parallel engine" => soak_smoke;
     ] )

@@ -31,54 +31,56 @@ let config_validation () =
 let own = mkid "a0000000000000000000000000000000"
 
 let rt_placement () =
-  let rt = Routing_table.create ~config ~own in
+  let rt = Routing_table.create ~config ~own ~proximity:(fun _ -> 1.0) () in
   let p = peer "b0000000000000000000000000000000" 1 in
   (* shares 0 digits, first digit 0xb -> row 0, col 11 *)
-  check Alcotest.bool "installed" true (Routing_table.consider rt ~proximity:(fun _ -> 1.0) p);
+  check Alcotest.bool "installed" true (Routing_table.consider rt p);
   check Alcotest.bool "found" true (Routing_table.lookup rt ~row:0 ~col:11 <> None);
   check Alcotest.int "count" 1 (Routing_table.entry_count rt);
   (* shares 1 digit (a), second digit 5 -> row 1, col 5 *)
   let q = peer "a5000000000000000000000000000000" 2 in
-  ignore (Routing_table.consider rt ~proximity:(fun _ -> 1.0) q);
+  ignore (Routing_table.consider rt q);
   check Alcotest.bool "row1" true (Routing_table.lookup rt ~row:1 ~col:5 <> None)
 
 let rt_rejects_self () =
-  let rt = Routing_table.create ~config ~own in
+  let rt = Routing_table.create ~config ~own ~proximity:(fun _ -> 0.0) () in
   check Alcotest.bool "self ignored" false
-    (Routing_table.consider rt ~proximity:(fun _ -> 0.0) (Peer.make ~id:own ~addr:9))
+    (Routing_table.consider rt (Peer.make ~id:own ~addr:9))
 
 let rt_proximity_preference () =
-  let rt = Routing_table.create ~config ~own in
+  let proximity a = if a = 1 then 100.0 else 10.0 in
+  let rt = Routing_table.create ~config ~own ~proximity () in
   let far = peer "b0000000000000000000000000000000" 1 in
   let near = peer "b1000000000000000000000000000000" 2 in
-  let proximity a = if a = 1 then 100.0 else 10.0 in
-  ignore (Routing_table.consider rt ~proximity far);
-  check Alcotest.bool "near replaces far" true (Routing_table.consider rt ~proximity near);
+  ignore (Routing_table.consider rt far);
+  check Alcotest.bool "near replaces far" true (Routing_table.consider rt near);
   (match Routing_table.lookup rt ~row:0 ~col:11 with
   | Some p -> check Alcotest.int "kept near" 2 p.Peer.addr
   | None -> Alcotest.fail "missing");
   (* a farther candidate does not evict *)
-  check Alcotest.bool "far not reinstalled" false (Routing_table.consider rt ~proximity far)
+  check Alcotest.bool "far not reinstalled" false (Routing_table.consider rt far)
 
 let rt_no_proximity_keeps_first () =
-  let rt = Routing_table.create ~config ~own in
+  let rt = Routing_table.create ~config ~own ~proximity:(fun _ -> 1.0) () in
   let a = peer "b0000000000000000000000000000000" 1 in
   let b = peer "b1000000000000000000000000000000" 2 in
   check Alcotest.bool "first installs" true (Routing_table.consider_no_proximity rt a);
   check Alcotest.bool "second rejected" false (Routing_table.consider_no_proximity rt b)
 
 let rt_remove () =
-  let rt = Routing_table.create ~config ~own in
-  ignore (Routing_table.consider rt ~proximity:(fun _ -> 1.0) (peer "b0000000000000000000000000000000" 1));
-  ignore (Routing_table.consider rt ~proximity:(fun _ -> 1.0) (peer "c0000000000000000000000000000000" 1));
+  let rt = Routing_table.create ~config ~own ~proximity:(fun _ -> 1.0) () in
+  ignore (Routing_table.consider rt (peer "b0000000000000000000000000000000" 1));
+  ignore (Routing_table.consider rt (peer "c0000000000000000000000000000000" 2));
   check Alcotest.int "two entries" 2 (Routing_table.entry_count rt);
-  check Alcotest.bool "removed" true (Routing_table.remove_addr rt 1);
+  check Alcotest.bool "removed b" true (Routing_table.remove_addr rt 1);
+  check Alcotest.int "one left" 1 (Routing_table.entry_count rt);
+  check Alcotest.bool "removed c" true (Routing_table.remove_addr rt 2);
   check Alcotest.int "empty" 0 (Routing_table.entry_count rt)
 
 let rt_next_hop () =
-  let rt = Routing_table.create ~config ~own in
+  let rt = Routing_table.create ~config ~own ~proximity:(fun _ -> 1.0) () in
   let p = peer "b0000000000000000000000000000000" 1 in
-  ignore (Routing_table.consider rt ~proximity:(fun _ -> 1.0) p);
+  ignore (Routing_table.consider rt p);
   let key = mkid "b7777777777777777777777777777777" in
   (match Routing_table.next_hop rt ~key with
   | Some q -> check Alcotest.int "hop to b-prefix node" 1 q.Peer.addr
@@ -87,9 +89,9 @@ let rt_next_hop () =
     (Routing_table.next_hop rt ~key:(mkid "c0000000000000000000000000000000") = None)
 
 let rt_row_peers () =
-  let rt = Routing_table.create ~config ~own in
-  ignore (Routing_table.consider rt ~proximity:(fun _ -> 1.0) (peer "b0000000000000000000000000000000" 1));
-  ignore (Routing_table.consider rt ~proximity:(fun _ -> 1.0) (peer "a1000000000000000000000000000000" 2));
+  let rt = Routing_table.create ~config ~own ~proximity:(fun _ -> 1.0) () in
+  ignore (Routing_table.consider rt (peer "b0000000000000000000000000000000" 1));
+  ignore (Routing_table.consider rt (peer "a1000000000000000000000000000000" 2));
   check Alcotest.int "row 0 has one" 1 (List.length (Routing_table.row_peers rt 0));
   check Alcotest.int "row 1 has one" 1 (List.length (Routing_table.row_peers rt 1));
   check Alcotest.int "all" 2 (List.length (Routing_table.peers rt))
@@ -99,7 +101,7 @@ let rt_row_peers () =
 let i_id n = Id.add_int (Id.of_hex ~width:128 "80000000000000000000000000000000") n
 
 let leaf_basic () =
-  let ls = Leaf_set.create ~config:small_config ~own:(i_id 0) in
+  let ls = Leaf_set.create ~config:small_config ~own:(i_id 0) () in
   check Alcotest.bool "empty" true (Leaf_set.is_empty ls);
   ignore (Leaf_set.add ls (Peer.make ~id:(i_id 1) ~addr:1));
   ignore (Leaf_set.add ls (Peer.make ~id:(i_id (-1)) ~addr:2));
@@ -108,7 +110,7 @@ let leaf_basic () =
   check Alcotest.bool "self rejected" false (Leaf_set.add ls (Peer.make ~id:(i_id 0) ~addr:3))
 
 let leaf_caps_sides () =
-  let ls = Leaf_set.create ~config:small_config ~own:(i_id 0) in
+  let ls = Leaf_set.create ~config:small_config ~own:(i_id 0) () in
   (* l=4 -> 2 per side; add 5 on the larger side. *)
   for d = 1 to 5 do
     ignore (Leaf_set.add ls (Peer.make ~id:(i_id (10 * d)) ~addr:d))
@@ -119,7 +121,7 @@ let leaf_caps_sides () =
   check (Alcotest.list Alcotest.int) "closest kept" [ 1; 2 ] addrs
 
 let leaf_ordering () =
-  let ls = Leaf_set.create ~config:small_config ~own:(i_id 0) in
+  let ls = Leaf_set.create ~config:small_config ~own:(i_id 0) () in
   ignore (Leaf_set.add ls (Peer.make ~id:(i_id 30) ~addr:3));
   ignore (Leaf_set.add ls (Peer.make ~id:(i_id 10) ~addr:1));
   ignore (Leaf_set.add ls (Peer.make ~id:(i_id (-20)) ~addr:2));
@@ -130,7 +132,7 @@ let leaf_ordering () =
   | None -> Alcotest.fail "extreme missing"
 
 let leaf_closest () =
-  let ls = Leaf_set.create ~config:small_config ~own:(i_id 0) in
+  let ls = Leaf_set.create ~config:small_config ~own:(i_id 0) () in
   ignore (Leaf_set.add ls (Peer.make ~id:(i_id 10) ~addr:1));
   ignore (Leaf_set.add ls (Peer.make ~id:(i_id (-10)) ~addr:2));
   (match Leaf_set.closest_to ls (i_id 9) with
@@ -144,7 +146,7 @@ let leaf_closest () =
   | `Self -> Alcotest.fail "peer is closest"
 
 let leaf_covers () =
-  let ls = Leaf_set.create ~config:small_config ~own:(i_id 0) in
+  let ls = Leaf_set.create ~config:small_config ~own:(i_id 0) () in
   (* Sparse: covers everything. *)
   check Alcotest.bool "sparse covers" true (Leaf_set.covers ls (i_id 1_000_000));
   ignore (Leaf_set.add ls (Peer.make ~id:(i_id 10) ~addr:1));
@@ -159,22 +161,22 @@ let leaf_covers () =
   check Alcotest.bool "far outside" false (Leaf_set.covers ls (i_id 1_000_000))
 
 let leaf_replica_set () =
-  let ls = Leaf_set.create ~config:{ Config.default with Config.leaf_set_size = 8 } ~own:(i_id 0) in
+  let ls = Leaf_set.create ~config:{ Config.default with Config.leaf_set_size = 8 } ~own:(i_id 0) () in
   List.iter
-    (fun d -> ignore (Leaf_set.add ls (Peer.make ~id:(i_id (10 * d)) ~addr:d)))
+    (fun d -> ignore (Leaf_set.add ls (Peer.make ~id:(i_id (10 * d)) ~addr:(10 + d))))
     [ 1; 2; 3; -1; -2; -3 ]
   |> ignore;
   let rs = Leaf_set.replica_set ls ~k:3 (i_id 1) in
   check Alcotest.int "k entries" 3 (List.length rs);
   (match rs with
   | `Self :: `Peer p1 :: `Peer p2 :: [] ->
-    check Alcotest.int "then closest" 1 p1.Peer.addr;
-    check Alcotest.bool "third is +-" true (p2.Peer.addr = -1 || p2.Peer.addr = 2)
+    check Alcotest.int "then closest" 11 p1.Peer.addr;
+    check Alcotest.bool "third is +-" true (p2.Peer.addr = 9 || p2.Peer.addr = 12)
   | _ -> Alcotest.fail "self should be first");
   check Alcotest.int "k capped by members+1" 7 (List.length (Leaf_set.replica_set ls ~k:50 (i_id 0)))
 
 let leaf_remove () =
-  let ls = Leaf_set.create ~config:small_config ~own:(i_id 0) in
+  let ls = Leaf_set.create ~config:small_config ~own:(i_id 0) () in
   ignore (Leaf_set.add ls (Peer.make ~id:(i_id 10) ~addr:1));
   check Alcotest.bool "removed" true (Leaf_set.remove_addr ls 1);
   check Alcotest.bool "gone" false (Leaf_set.mem_addr ls 1);
@@ -183,7 +185,7 @@ let leaf_remove () =
 let leaf_wrap_around () =
   (* Own id near zero: smaller side wraps to the top of the ring. *)
   let own = Id.add_int (Id.zero ~width:128) 5 in
-  let ls = Leaf_set.create ~config:small_config ~own in
+  let ls = Leaf_set.create ~config:small_config ~own () in
   let top = Id.add_int (Id.zero ~width:128) (-3) in
   ignore (Leaf_set.add ls (Peer.make ~id:top ~addr:1));
   check Alcotest.int "wrapped into smaller side" 1 (List.length (Leaf_set.smaller ls));
@@ -198,7 +200,7 @@ let qcheck_replica_set =
     (fun (seed, _) ->
       let rng = Rng.create seed in
       let own = Id.random rng ~width:128 in
-      let ls = Leaf_set.create ~config:{ Config.default with Config.leaf_set_size = 16 } ~own in
+      let ls = Leaf_set.create ~config:{ Config.default with Config.leaf_set_size = 16 } ~own () in
       let peers =
         List.init 12 (fun i -> Peer.make ~id:(Id.random rng ~width:128) ~addr:i)
       in
@@ -221,6 +223,7 @@ let qcheck_replica_set =
 let nbhd_caps_and_keeps_closest () =
   let nb =
     Neighborhood.create ~config:{ Config.default with Config.neighborhood_size = 3 } ~own:(i_id 0)
+      ()
   in
   for d = 1 to 6 do
     ignore (Neighborhood.add nb ~proximity:(float_of_int d) (Peer.make ~id:(i_id d) ~addr:d))
@@ -234,7 +237,7 @@ let nbhd_caps_and_keeps_closest () =
   check (Alcotest.list Alcotest.int) "evicted farthest" [ 1; 2; 9 ] addrs
 
 let nbhd_dedup_and_remove () =
-  let nb = Neighborhood.create ~config:Config.default ~own:(i_id 0) in
+  let nb = Neighborhood.create ~config:Config.default ~own:(i_id 0) () in
   ignore (Neighborhood.add nb ~proximity:1.0 (Peer.make ~id:(i_id 1) ~addr:1));
   check Alcotest.bool "duplicate rejected" false
     (Neighborhood.add nb ~proximity:0.5 (Peer.make ~id:(i_id 1) ~addr:1));
